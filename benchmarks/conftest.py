@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Workloads are cached at module scope so pytest-benchmark timing loops
+measure learning/analysis, not simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import gm_workload, simple_workload
+from repro.trace.synthetic import paper_figure2_trace
+
+
+@pytest.fixture(scope="session")
+def paper_trace():
+    return paper_figure2_trace()
+
+
+@pytest.fixture(scope="session")
+def gm():
+    return gm_workload()
+
+
+@pytest.fixture(scope="session")
+def simple():
+    return simple_workload()

@@ -1,0 +1,114 @@
+"""E2 — the Section 3.4 runtime table (bound vs seconds) + exact reference.
+
+The paper's table, measured on a 2007 Pentium M::
+
+    Bound  Run time (s)      Bound  Run time (s)
+    1      0.220             64     5.899
+    4      0.471             100    12.608
+    16     1.202             120    16.294
+    32     2.573             150    19.048
+
+and an exact-algorithm run of 630.997 s that returned a single function
+equal to the heuristic LUB (any bound).
+
+We regenerate the same sweep on the GM-scale workload (18 tasks, 27
+periods, one CAN bus). Absolute seconds are machine- and substrate-
+specific; the asserted *shape* is the paper's: runtime grows monotonically
+with the bound, and every bound's LUB equals the bound-1 hypothesis
+(Lemma). The paper's exact run is out of reach for the full workload in
+pure Python (the hypothesis set explodes long before convergence — the
+learner's safety cap triggers), so the exact-vs-heuristic equality is
+checked on a reduced workload here and exhaustively in E4.
+"""
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.bench.reporting import format_table, shape_check
+from repro.core.exact import learn_exact
+from repro.core.heuristic import learn_bounded
+from repro.errors import LearningError
+
+PAPER_BOUNDS = (1, 4, 16, 32, 64, 100, 120, 150)
+PAPER_SECONDS = (0.220, 0.471, 1.202, 2.573, 5.899, 12.608, 16.294, 19.048)
+
+
+def test_e2_bound_runtime_table(benchmark, gm):
+    results = {}
+    measurements = []
+    for bound in PAPER_BOUNDS:
+        measurement = measure(
+            f"bound={bound}", lambda b=bound: learn_bounded(gm.trace, b)
+        )
+        measurements.append(measurement)
+        results[bound] = measurement.value
+    # pytest-benchmark records the smallest paper bound as the hot loop.
+    benchmark(learn_bounded, gm.trace, 1)
+
+    ours = [m.seconds for m in measurements]
+    rows = [
+        [bound, paper, measured]
+        for bound, paper, measured in zip(PAPER_BOUNDS, PAPER_SECONDS, ours)
+    ]
+    print()
+    print(
+        format_table(
+            ["bound", "paper (s)", "measured (s)"],
+            rows,
+            title="[E2] heuristic runtime vs bound "
+            f"({gm.trace.message_count()} messages, "
+            f"{len(gm.trace)} periods, {len(gm.trace.tasks)} tasks)",
+        )
+    )
+
+    # Shape assertions: monotone growth, as in the paper's table. Tiny
+    # timer jitter at the small end is tolerated by comparing endpoints
+    # and the sorted-order distance.
+    assert ours[-1] > ours[0] * 5, "runtime must grow substantially with bound"
+    assert shape_check(sorted(ours), "nondecreasing")
+    out_of_order = sum(1 for a, b in zip(ours, ours[1:]) if a > b)
+    assert out_of_order <= 1, f"sweep not monotone: {ours}"
+
+    # Lemma across the sweep: every bound's LUB equals the bound-1 result.
+    reference = results[1].unique
+    for bound in PAPER_BOUNDS[1:]:
+        assert results[bound].lub() == reference, f"Lemma violated at {bound}"
+    print("\n[E2] LUB(bound=b) == bound-1 hypothesis for all paper bounds: OK")
+
+
+def test_e2_exact_infeasible_on_full_workload(benchmark, gm):
+    """The paper's exact run took 630.997 s in 2007 C code; our Python
+    substrate hits the hypothesis-set explosion well before convergence
+    (documented substitution in DESIGN.md)."""
+
+    def blows_the_cap() -> bool:
+        try:
+            learn_exact(gm.trace.subtrace(2), max_hypotheses=20_000)
+        except LearningError:
+            return True
+        return False
+
+    exploded = benchmark.pedantic(blows_the_cap, rounds=1, iterations=1)
+    assert exploded
+    print(
+        "\n[E2] exact algorithm exceeds 20k hypotheses within 2 GM "
+        "periods — the exponential behavior that motivates the heuristic"
+    )
+
+
+def test_e2_exact_reference_on_reduced_workload(benchmark, simple):
+    """The exact-vs-heuristic equality the paper observed, where feasible.
+
+    The reduced workload is the Figure 1 system simulated for 12 periods:
+    the exact algorithm completes, and its LUB equals the heuristic's
+    bound-1 hypothesis (the paper found the same equality on its GM run,
+    'using any arbitrary bound' — Theorem 4 / Lemma).
+    """
+    exact = benchmark(learn_exact, simple.trace)
+    heuristic = learn_bounded(simple.trace, 1)
+    assert exact.lub() == heuristic.unique
+    print(
+        f"\n[E2] exact on reduced workload: {exact.peak_hypotheses} peak "
+        f"hypotheses, {len(exact.functions)} most-specific survivors; "
+        "exact LUB == heuristic bound-1: OK"
+    )

@@ -1,0 +1,60 @@
+"""Throughput benchmarks (engineering, not a paper artifact).
+
+Performance tracking for the hot paths a production deployment cares
+about: simulator event throughput, learner message throughput at a fixed
+bound, streamed ingestion, and the downstream analyses on the GM-scale
+model. pytest-benchmark records these so regressions show up in CI.
+"""
+
+import io
+
+from repro.core.heuristic import learn_bounded
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.gateway import gateway_config, gateway_design
+from repro.trace.streaming import stream_learn
+from repro.trace.textio import dumps_trace
+
+
+def test_throughput_simulator_gm(benchmark, gm):
+    def simulate():
+        return Simulator(
+            gm.design, SimulatorConfig(period_length=100.0), seed=1
+        ).run(10)
+
+    run = benchmark(simulate)
+    assert len(run.trace) == 10
+
+
+def test_throughput_simulator_gateway(benchmark):
+    design = gateway_design()
+    config = gateway_config()
+
+    def simulate():
+        return Simulator(design, config, seed=2).run(10)
+
+    run = benchmark(simulate)
+    assert len(run.trace) == 10
+
+
+def test_throughput_learner_bound16(benchmark, gm):
+    trace = gm.trace.subtrace(8)
+    result = benchmark(learn_bounded, trace, 16)
+    assert result.periods == 8
+
+
+def test_throughput_streamed_learning(benchmark, gm):
+    text = dumps_trace(gm.trace.subtrace(8))
+
+    def learn_from_stream():
+        return stream_learn(io.StringIO(text), bound=8)
+
+    result = benchmark(learn_from_stream)
+    assert result.periods == 8
+
+
+def test_throughput_classification(benchmark, gm):
+    from repro.analysis.classify import classify_all
+
+    lub = learn_bounded(gm.trace, 16).lub()
+    kinds = benchmark(classify_all, lub)
+    assert len(kinds) == 18

@@ -1,0 +1,160 @@
+"""Downstream analyses over learned dependency functions."""
+
+from repro.analysis.classify import (
+    NodeKind,
+    classify_all,
+    classify_node,
+    is_conjunction,
+    is_disjunction,
+    summarize,
+)
+from repro.analysis.compare import (
+    AgreementReport,
+    EdgeRecovery,
+    compare_functions,
+    edge_recovery,
+    learned_forward_pairs,
+)
+from repro.analysis.coverage import CoverageReport, coverage
+from repro.analysis.convergence import (
+    CurvePoint,
+    LearningCurve,
+    learning_curve,
+)
+from repro.analysis.dossier import Dossier, build_dossier
+from repro.analysis.drift import (
+    DriftMonitor,
+    DriftReport,
+    DriftVerdict,
+    PeriodStatus,
+)
+from repro.analysis.graph import DependencyGraph, restrict_tasks
+from repro.analysis.modes import (
+    Mode,
+    ModeReport,
+    extract_modes,
+    per_mode_models,
+)
+from repro.analysis.holistic import (
+    HolisticComparison,
+    HolisticReport,
+    analyze as holistic_analyze,
+    compare as holistic_compare,
+)
+from repro.analysis.sensitivity import (
+    FactStability,
+    StabilityReport,
+    robust_model,
+    stability,
+)
+from repro.analysis.report import (
+    dumps_model,
+    function_from_dict,
+    function_to_dict,
+    loads_model,
+    markdown_report,
+    to_graphml,
+)
+from repro.analysis.latency import (
+    LatencyComparison,
+    PathLatencyReport,
+    ResponseTimeReport,
+    compare_path_latency,
+    path_latency,
+    response_time,
+)
+from repro.analysis.pathfinder import (
+    CriticalPathComparison,
+    RankedPath,
+    compare_critical_paths,
+    critical_paths,
+    enumerate_paths,
+)
+from repro.analysis.properties import (
+    CertainDependency,
+    ConjunctionNode,
+    DisjunctionNode,
+    ImplicitOrdering,
+    MustExecuteWith,
+    Property,
+    Verdict,
+    prove_all,
+    proved_fraction,
+    published_case_study_properties,
+)
+from repro.analysis.reachability import (
+    ReachabilityReport,
+    ReductionReport,
+    compare_state_spaces,
+    explore_states,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "restrict_tasks",
+    "NodeKind",
+    "classify_node",
+    "classify_all",
+    "is_disjunction",
+    "is_conjunction",
+    "summarize",
+    "Property",
+    "Verdict",
+    "CertainDependency",
+    "MustExecuteWith",
+    "DisjunctionNode",
+    "ConjunctionNode",
+    "ImplicitOrdering",
+    "prove_all",
+    "proved_fraction",
+    "published_case_study_properties",
+    "ResponseTimeReport",
+    "PathLatencyReport",
+    "LatencyComparison",
+    "response_time",
+    "path_latency",
+    "compare_path_latency",
+    "ReachabilityReport",
+    "ReductionReport",
+    "explore_states",
+    "compare_state_spaces",
+    "AgreementReport",
+    "EdgeRecovery",
+    "compare_functions",
+    "edge_recovery",
+    "learned_forward_pairs",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftVerdict",
+    "PeriodStatus",
+    "HolisticReport",
+    "HolisticComparison",
+    "holistic_analyze",
+    "holistic_compare",
+    "markdown_report",
+    "dumps_model",
+    "loads_model",
+    "function_to_dict",
+    "function_from_dict",
+    "to_graphml",
+    "Mode",
+    "ModeReport",
+    "extract_modes",
+    "per_mode_models",
+    "CurvePoint",
+    "LearningCurve",
+    "learning_curve",
+    "CoverageReport",
+    "coverage",
+    "RankedPath",
+    "CriticalPathComparison",
+    "enumerate_paths",
+    "critical_paths",
+    "compare_critical_paths",
+    "FactStability",
+    "StabilityReport",
+    "stability",
+    "robust_model",
+    "Dossier",
+    "build_dossier",
+]

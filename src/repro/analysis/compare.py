@@ -1,0 +1,147 @@
+"""Learned-vs-truth comparison metrics.
+
+Three reference points are available for a simulated system:
+
+* the design's behavior-aware ground truth
+  (:func:`repro.systems.semantics.ground_truth_dependencies`);
+* the actual message pairs that appeared on the bus (logger ground truth);
+* a baseline's output (e.g. :mod:`repro.baselines.direct_follows`).
+
+The learner is expected to be *at least as specific as* the design truth
+(paper footnote 3: a deterministic environment exhibits a subset of
+allowed behavior, so learned functions sit at or below the design truth in
+the value lattice on design-related pairs) while possibly adding
+environment-induced dependencies on unrelated pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import lattice
+from repro.core.depfunc import DependencyFunction
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Pairwise comparison of two dependency functions."""
+
+    total_pairs: int
+    equal: int
+    learned_more_specific: int
+    learned_more_general: int
+    incomparable: int
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of ordered pairs with identical values."""
+        if self.total_pairs == 0:
+            return 1.0
+        return self.equal / self.total_pairs
+
+    @property
+    def compatible(self) -> float:
+        """Fraction of pairs where the values are lattice-comparable."""
+        if self.total_pairs == 0:
+            return 1.0
+        return 1.0 - self.incomparable / self.total_pairs
+
+    def __str__(self) -> str:
+        return (
+            f"agreement {self.agreement:.2%} "
+            f"(= {self.equal}, more-specific {self.learned_more_specific}, "
+            f"more-general {self.learned_more_general}, "
+            f"incomparable {self.incomparable})"
+        )
+
+
+def compare_functions(
+    learned: DependencyFunction, reference: DependencyFunction
+) -> AgreementReport:
+    """Pairwise lattice comparison of *learned* against *reference*."""
+    if set(learned.tasks) != set(reference.tasks):
+        raise ValueError("functions compare over different task universes")
+    equal = more_specific = more_general = incomparable = 0
+    total = 0
+    for a in learned.tasks:
+        for b in learned.tasks:
+            if a == b:
+                continue
+            total += 1
+            lv = learned.value(a, b)
+            rv = reference.value(a, b)
+            if lv is rv:
+                equal += 1
+            elif lattice.leq(lv, rv):
+                more_specific += 1
+            elif lattice.leq(rv, lv):
+                more_general += 1
+            else:
+                incomparable += 1
+    return AgreementReport(
+        total_pairs=total,
+        equal=equal,
+        learned_more_specific=more_specific,
+        learned_more_general=more_general,
+        incomparable=incomparable,
+    )
+
+
+@dataclass(frozen=True)
+class EdgeRecovery:
+    """Precision/recall of learned forward arrows against reference pairs."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"precision {self.precision:.2%}, recall {self.recall:.2%}, "
+            f"f1 {self.f1:.2%}"
+        )
+
+
+def learned_forward_pairs(
+    function: DependencyFunction,
+) -> frozenset[tuple[str, str]]:
+    """Ordered pairs whose learned value includes a forward arrow."""
+    return frozenset(
+        (a, b)
+        for a, b, value in function.nonparallel_pairs()
+        if value.has_forward
+    )
+
+
+def edge_recovery(
+    function: DependencyFunction,
+    reference_pairs: frozenset[tuple[str, str]],
+) -> EdgeRecovery:
+    """How well the learned forward arrows recover *reference_pairs*.
+
+    *reference_pairs* is typically the bus logger's ground-truth
+    sender-receiver set. Recall measures coverage of real message flows;
+    precision penalizes environment-induced extras (which the paper treats
+    as features, so judge precision accordingly).
+    """
+    learned = learned_forward_pairs(function)
+    return EdgeRecovery(
+        true_positive=len(learned & reference_pairs),
+        false_positive=len(learned - reference_pairs),
+        false_negative=len(reference_pairs - learned),
+    )

@@ -1,0 +1,95 @@
+"""Learning-curve analysis: convergence as evidence accumulates.
+
+The paper observes that its example "does not converge" after three
+periods and that "more periods in the trace are needed to reveal other
+aspects of the model". This module quantifies that: feed a trace
+incrementally and record, per period, how the hypothesis space evolves —
+surviving-hypothesis count, the LUB's weight (generality), the number of
+certain arrows, and whether the run has converged.
+
+The curve answers the practical question "how much logging is enough?":
+when the curve flattens, further periods stop changing the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.learner import make_learner
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """Model state after one more period of evidence."""
+
+    periods: int
+    hypothesis_count: int
+    lub_weight: int
+    certain_arrows: int
+    converged: bool
+
+
+@dataclass
+class LearningCurve:
+    """The full per-period record."""
+
+    points: list[CurvePoint]
+
+    def converged_after(self) -> int | None:
+        """First period count with a single surviving hypothesis, if any."""
+        for point in self.points:
+            if point.converged:
+                return point.periods
+        return None
+
+    def stable_after(self) -> int | None:
+        """First period count after which the LUB never changes again."""
+        if not self.points:
+            return None
+        final = (self.points[-1].lub_weight, self.points[-1].certain_arrows)
+        stable_from = self.points[-1].periods
+        for point in reversed(self.points):
+            if (point.lub_weight, point.certain_arrows) != final:
+                return stable_from
+            stable_from = point.periods
+        return stable_from
+
+    def summary(self) -> str:
+        lines = ["periods  hypotheses  LUB-weight  certain  converged"]
+        for point in self.points:
+            lines.append(
+                f"{point.periods:>7}  {point.hypothesis_count:>10}  "
+                f"{point.lub_weight:>10}  {point.certain_arrows:>7}  "
+                f"{str(point.converged).lower()}"
+            )
+        return "\n".join(lines)
+
+
+def learning_curve(
+    trace: Trace,
+    bound: int | None = None,
+    tolerance: float = 0.0,
+) -> LearningCurve:
+    """Compute the per-period learning curve over *trace*."""
+    learner = make_learner(trace.tasks, bound=bound, tolerance=tolerance)
+    points: list[CurvePoint] = []
+    for period in trace.periods:
+        learner.feed(period)
+        result = learner.result()
+        lub = result.lub()
+        certain = sum(
+            1
+            for _a, _b, value in lub.nonparallel_pairs()
+            if value.is_certain and value.has_forward
+        )
+        points.append(
+            CurvePoint(
+                periods=period.index + 1,
+                hypothesis_count=len(result.functions),
+                lub_weight=lub.weight(),
+                certain_arrows=certain,
+                converged=result.converged,
+            )
+        )
+    return LearningCurve(points=points)

@@ -1,0 +1,164 @@
+"""Trace coverage against a design: is the trace plausibly exhaustive?
+
+The paper's property proofs assume "that the trace is exhaustive so that
+it exhibits all allowable behavior of the model in the specific execution
+environment". When the design *is* available (evaluation settings,
+regression rigs), that assumption becomes checkable: compare the trace's
+observed behavior against the design's enumerated behavior space.
+
+Three coverage measures:
+
+* **signature coverage** — distinct executed-task sets observed vs
+  allowed;
+* **edge coverage** — message edges observed firing vs design edges
+  (conditional edges need at least one firing period each);
+* **decision coverage** — for each disjunction node, the branch-choice
+  combinations observed vs allowed.
+
+An incomplete trace does not invalidate learning (the result is then
+*more specific* than the design, paper footnote 3) — but it delimits
+which learned facts are environment artifacts versus design truths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.systems.model import BranchMode, SystemDesign
+from repro.systems.semantics import enumerate_behaviors
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Observed-vs-allowed coverage of one trace against one design."""
+
+    observed_signatures: frozenset[frozenset[str]]
+    allowed_signatures: frozenset[frozenset[str]]
+    observed_edge_counts: dict[tuple[str, str], int]
+    design_edges: frozenset[tuple[str, str]]
+    decision_coverage: dict[str, tuple[int, int]]  # task -> (seen, allowed)
+
+    @property
+    def signature_coverage(self) -> float:
+        if not self.allowed_signatures:
+            return 1.0
+        return len(
+            self.observed_signatures & self.allowed_signatures
+        ) / len(self.allowed_signatures)
+
+    @property
+    def unexpected_signatures(self) -> frozenset[frozenset[str]]:
+        """Observed task sets the design does not allow — environment
+        effects or design drift."""
+        return self.observed_signatures - self.allowed_signatures
+
+    @property
+    def edge_coverage(self) -> float:
+        if not self.design_edges:
+            return 1.0
+        covered = sum(
+            1
+            for edge in self.design_edges
+            if self.observed_edge_counts.get(edge, 0) > 0
+        )
+        return covered / len(self.design_edges)
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when every allowed signature and edge was observed."""
+        return (
+            self.signature_coverage == 1.0
+            and self.edge_coverage == 1.0
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"signature coverage: {self.signature_coverage:.0%} "
+            f"({len(self.observed_signatures & self.allowed_signatures)}"
+            f"/{len(self.allowed_signatures)} allowed task sets observed)",
+            f"edge coverage: {self.edge_coverage:.0%}",
+        ]
+        uncovered = [
+            f"{a}->{b}"
+            for a, b in sorted(self.design_edges)
+            if self.observed_edge_counts.get((a, b), 0) == 0
+        ]
+        if uncovered:
+            lines.append(f"never-fired edges: {', '.join(uncovered)}")
+        for task, (seen, allowed) in sorted(self.decision_coverage.items()):
+            lines.append(
+                f"decision coverage at {task}: {seen}/{allowed} options"
+            )
+        if self.unexpected_signatures:
+            lines.append(
+                f"WARNING: {len(self.unexpected_signatures)} observed task "
+                "sets are not allowed by the design"
+            )
+        lines.append(f"exhaustive: {self.exhaustive}")
+        return "\n".join(lines)
+
+
+def coverage(
+    trace: Trace,
+    design: SystemDesign,
+    ground_truth_pairs_per_period: list[frozenset[tuple[str, str]]] | None = None,
+    max_behaviors: int = 100_000,
+) -> CoverageReport:
+    """Measure *trace*'s coverage of *design*.
+
+    Edge coverage needs to know which sender-receiver pair each observed
+    message had; pass the simulator logger's per-period ground-truth pairs
+    when available. Without them, edge firing is inferred conservatively
+    from task co-execution (an edge counts as fired in a period where both
+    endpoints ran).
+    """
+    behaviors = enumerate_behaviors(design, max_behaviors)
+    allowed = frozenset(behavior.executed for behavior in behaviors)
+    observed = frozenset(period.executed_tasks for period in trace.periods)
+
+    edge_counts: dict[tuple[str, str], int] = {}
+    if ground_truth_pairs_per_period is not None:
+        for pairs in ground_truth_pairs_per_period:
+            for pair in pairs:
+                edge_counts[pair] = edge_counts.get(pair, 0) + 1
+    else:
+        for period in trace.periods:
+            for edge in design.edges:
+                if period.executed(edge.sender) and period.executed(
+                    edge.receiver
+                ):
+                    key = (edge.sender, edge.receiver)
+                    edge_counts[key] = edge_counts.get(key, 0) + 1
+
+    decisions: dict[str, tuple[int, int]] = {}
+    for task in design.tasks:
+        if task.branch_mode is BranchMode.NONE:
+            continue
+        conditional = design.conditional_out_edges(task.name)
+        receivers = [edge.receiver for edge in conditional]
+        if task.branch_mode is BranchMode.EXACTLY_ONE:
+            allowed_options = len(receivers)
+        else:  # AT_LEAST_ONE
+            allowed_options = 2 ** len(receivers) - 1
+        seen_options = len(
+            {
+                frozenset(
+                    r for r in receivers if period.executed(r)
+                )
+                for period in trace.periods
+                if period.executed(task.name)
+            }
+            - {frozenset()}
+        )
+        decisions[task.name] = (seen_options, allowed_options)
+
+    return CoverageReport(
+        observed_signatures=observed,
+        allowed_signatures=allowed,
+        observed_edge_counts=edge_counts,
+        design_edges=frozenset(
+            (edge.sender, edge.receiver) for edge in design.edges
+        ),
+        decision_coverage=decisions,
+    )

@@ -1,0 +1,187 @@
+"""Model-based drift and anomaly detection over live traces.
+
+Once a dependency model has been learned from a golden trace, it becomes
+an executable specification: any new period that the model fails to match
+is behavior the black box never exhibited during characterization — a
+mode change, an integration regression, or a logging fault. This is the
+operational payoff of the paper's "assume the trace is exhaustive"
+caveat: when the assumption breaks, detect it instead of silently
+analyzing with a stale model.
+
+:class:`DriftMonitor` consumes periods one at a time and classifies each:
+
+* ``OK`` — the period matches the model (some hypothesis explains it);
+* ``NEW_TASK_SET`` — an executed-task combination never seen while
+  learning (certain arrows violated);
+* ``UNEXPLAINED_MESSAGES`` — the task set is known but the bus traffic
+  cannot be assigned senders/receivers under the model;
+* ``MALFORMED`` — the period violates the MOC structurally.
+
+The monitor can optionally *adapt*: anomalous periods are forwarded to an
+incremental learner so the model generalizes online, with the anomaly
+still reported (learn-then-alert, never alert-blindness).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.matching import certain_relations_hold, find_explanation
+from repro.core.learner import make_learner
+from repro.errors import TraceError
+from repro.trace.period import Period
+
+
+class PeriodStatus(enum.Enum):
+    OK = "ok"
+    NEW_TASK_SET = "new_task_set"
+    UNEXPLAINED_MESSAGES = "unexplained_messages"
+    MALFORMED = "malformed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """Classification of one observed period."""
+
+    period_index: int
+    status: PeriodStatus
+    detail: str = ""
+
+    @property
+    def anomalous(self) -> bool:
+        return self.status is not PeriodStatus.OK
+
+    def __str__(self) -> str:
+        text = f"period {self.period_index}: {self.status}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+@dataclass
+class DriftReport:
+    """Aggregate over a monitoring session."""
+
+    verdicts: list[DriftVerdict] = field(default_factory=list)
+
+    @property
+    def anomaly_count(self) -> int:
+        return sum(1 for v in self.verdicts if v.anomalous)
+
+    @property
+    def anomaly_rate(self) -> float:
+        if not self.verdicts:
+            return 0.0
+        return self.anomaly_count / len(self.verdicts)
+
+    def anomalies(self) -> list[DriftVerdict]:
+        return [v for v in self.verdicts if v.anomalous]
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.verdicts)} periods monitored, "
+            f"{self.anomaly_count} anomalous ({self.anomaly_rate:.1%})"
+        ]
+        lines.extend(f"  {v}" for v in self.anomalies())
+        return "\n".join(lines)
+
+
+class DriftMonitor:
+    """Classify incoming periods against a learned dependency model.
+
+    Parameters
+    ----------
+    model:
+        The learned dependency function (typically ``result.lub()``).
+    tolerance:
+        Timing tolerance for candidate computation.
+    adapt:
+        When true, anomalous periods are fed to an incremental bounded
+        learner seeded with the model's task universe; the adapted model
+        is available as :attr:`adapted_model`.
+    adapt_bound:
+        Hypothesis bound for the adaptation learner.
+    """
+
+    def __init__(
+        self,
+        model: DependencyFunction,
+        tolerance: float = 0.0,
+        adapt: bool = False,
+        adapt_bound: int = 8,
+    ):
+        self.model = model
+        self.tolerance = tolerance
+        self.report = DriftReport()
+        self._learner = (
+            make_learner(model.tasks, bound=adapt_bound) if adapt else None
+        )
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(self, period: Period) -> DriftVerdict:
+        """Classify one period and record it in the report."""
+        verdict = self._classify(period)
+        self.report.verdicts.append(verdict)
+        if self._learner is not None:
+            try:
+                self._learner.feed(period)
+            except TraceError:
+                pass  # malformed periods cannot be learned from
+        self._counter += 1
+        return verdict
+
+    def observe_all(self, periods: Iterable[Period]) -> DriftReport:
+        """Classify a whole stream and return the report."""
+        for period in periods:
+            self.observe(period)
+        return self.report
+
+    def _classify(self, period: Period) -> DriftVerdict:
+        index = self._counter
+        unknown = period.executed_tasks - set(self.model.tasks)
+        if unknown:
+            return DriftVerdict(
+                index,
+                PeriodStatus.MALFORMED,
+                f"unknown tasks {sorted(unknown)}",
+            )
+        if not certain_relations_hold(self.model, period):
+            broken = [
+                f"d({a}, {b}) = {value}"
+                for a, b, value in self.model.nonparallel_pairs()
+                if value.is_certain
+                and period.executed(a)
+                and not period.executed(b)
+            ]
+            return DriftVerdict(
+                index,
+                PeriodStatus.NEW_TASK_SET,
+                f"violates {', '.join(sorted(broken)[:4])}"
+                + ("..." if len(broken) > 4 else ""),
+            )
+        if find_explanation(self.model, period, self.tolerance) is None:
+            return DriftVerdict(
+                index,
+                PeriodStatus.UNEXPLAINED_MESSAGES,
+                f"{len(period.messages)} messages cannot be assigned "
+                "senders/receivers under the model",
+            )
+        return DriftVerdict(index, PeriodStatus.OK)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def adapted_model(self) -> DependencyFunction | None:
+        """The online-updated model (None unless ``adapt=True``)."""
+        if self._learner is None:
+            return None
+        result = self._learner.result()
+        if not result.functions:
+            return None
+        return result.lub()

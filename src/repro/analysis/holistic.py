@@ -1,0 +1,192 @@
+"""Holistic schedulability analysis (Tindell & Clark, the paper's [13]).
+
+The paper frames its payoff against "holistic schedulability analysis for
+distributed hard real-time systems": without a system-level model, every
+task and message must be assumed potentially independent, which inflates
+the bounds. This module implements that holistic analysis for our
+periodic single-activation systems — attribute inheritance along the
+dataflow DAG — in both flavors:
+
+* **pessimistic** — every higher-priority same-ECU task may preempt, and
+  a task's release jitter is inherited from the worst of *all* its
+  possible input chains;
+* **dependency-informed** — tasks whose order against the task under
+  analysis is certain in a learned dependency function are excluded from
+  its preemption set (the paper's Q/O mechanism).
+
+The computation walks the design topologically (designs are acyclic):
+
+* task worst-case response time: ``R = C + Σ C_j`` over interfering
+  higher-priority same-ECU tasks;
+* task worst-case *completion*: release jitter + response, where the
+  jitter is the latest arrival over its inbound messages;
+* message worst-case arrival: sender completion + bus delay (one maximal
+  blocking frame, each higher-priority frame once, own transmission).
+
+``end-to-end latency`` of a path is the completion bound of its last
+task, which correctly accounts for jitter accumulation across ECUs and
+the bus — the holistic part that the simpler per-hop sum in
+:mod:`repro.analysis.latency` approximates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.latency import _may_overlap
+from repro.core.depfunc import DependencyFunction
+from repro.errors import AnalysisError
+from repro.systems.model import MessageEdge, SystemDesign
+
+
+@dataclass(frozen=True)
+class TaskAttributes:
+    """Holistic attributes of one task."""
+
+    task: str
+    release_jitter: float
+    response_time: float
+    interfering: tuple[str, ...]
+    excluded: tuple[str, ...]
+
+    @property
+    def completion(self) -> float:
+        """Worst-case completion time relative to the period start."""
+        return self.release_jitter + self.response_time
+
+
+@dataclass(frozen=True)
+class MessageAttributes:
+    """Holistic attributes of one message edge."""
+
+    sender: str
+    receiver: str
+    queued_at: float
+    bus_delay: float
+
+    @property
+    def arrival(self) -> float:
+        """Worst-case arrival (falling edge) relative to the period start."""
+        return self.queued_at + self.bus_delay
+
+
+@dataclass
+class HolisticReport:
+    """Complete analysis of a design."""
+
+    tasks: dict[str, TaskAttributes]
+    messages: dict[tuple[str, str], MessageAttributes]
+
+    def completion(self, task: str) -> float:
+        try:
+            return self.tasks[task].completion
+        except KeyError:
+            raise AnalysisError(f"unknown task: {task}") from None
+
+    def path_latency(self, path: list[str]) -> float:
+        """End-to-end bound for a dataflow path (completion of its tail)."""
+        if not path:
+            raise AnalysisError("path must contain at least one task")
+        for a, b in zip(path, path[1:]):
+            if (a, b) not in self.messages:
+                raise AnalysisError(f"design has no message {a} -> {b}")
+        return self.completion(path[-1])
+
+    def makespan(self) -> float:
+        """Worst-case completion over all tasks (the busy period's end)."""
+        return max(a.completion for a in self.tasks.values())
+
+
+def _response_time(
+    design: SystemDesign,
+    task: str,
+    function: DependencyFunction | None,
+) -> tuple[float, tuple[str, ...], tuple[str, ...]]:
+    spec = design.task(task)
+    interfering = []
+    excluded = []
+    for other in design.tasks:
+        if other.name == task or other.ecu != spec.ecu:
+            continue
+        if other.priority <= spec.priority:
+            continue
+        if _may_overlap(function, task, other.name):
+            interfering.append(other.name)
+        else:
+            excluded.append(other.name)
+    response = spec.wcet + sum(design.task(n).wcet for n in interfering)
+    return response, tuple(sorted(interfering)), tuple(sorted(excluded))
+
+
+def _bus_delay(design: SystemDesign, edge: MessageEdge, frame_time: float) -> float:
+    higher = sum(
+        1
+        for other in design.edges
+        if other is not edge and other.frame_priority < edge.frame_priority
+    )
+    blocking = frame_time
+    return blocking + higher * frame_time + frame_time
+
+
+def analyze(
+    design: SystemDesign,
+    function: DependencyFunction | None = None,
+    frame_time: float = 0.5,
+) -> HolisticReport:
+    """Run the holistic analysis over the whole design."""
+    tasks: dict[str, TaskAttributes] = {}
+    messages: dict[tuple[str, str], MessageAttributes] = {}
+    for name in design.topological_order():
+        spec = design.task(name)
+        inbound = design.in_edges(name)
+        if spec.is_source or not inbound:
+            jitter = 0.0
+        else:
+            jitter = max(
+                messages[e.sender, e.receiver].arrival for e in inbound
+            )
+        response, interfering, excluded = _response_time(
+            design, name, function
+        )
+        attributes = TaskAttributes(
+            task=name,
+            release_jitter=jitter,
+            response_time=response,
+            interfering=interfering,
+            excluded=excluded,
+        )
+        tasks[name] = attributes
+        for edge in design.out_edges(name):
+            messages[edge.sender, edge.receiver] = MessageAttributes(
+                sender=edge.sender,
+                receiver=edge.receiver,
+                queued_at=attributes.completion,
+                bus_delay=_bus_delay(design, edge, frame_time),
+            )
+    return HolisticReport(tasks=tasks, messages=messages)
+
+
+@dataclass(frozen=True)
+class HolisticComparison:
+    """Pessimistic vs dependency-informed holistic bounds."""
+
+    pessimistic: HolisticReport
+    informed: HolisticReport
+
+    def improvement(self, task: str) -> float:
+        return self.pessimistic.completion(task) - self.informed.completion(task)
+
+    def makespan_improvement(self) -> float:
+        return self.pessimistic.makespan() - self.informed.makespan()
+
+
+def compare(
+    design: SystemDesign,
+    function: DependencyFunction,
+    frame_time: float = 0.5,
+) -> HolisticComparison:
+    """Holistic analysis with and without the learned model."""
+    return HolisticComparison(
+        pessimistic=analyze(design, None, frame_time),
+        informed=analyze(design, function, frame_time),
+    )

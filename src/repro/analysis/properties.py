@@ -1,0 +1,196 @@
+"""Property proving over learned dependency functions (paper Section 3.4).
+
+The paper uses the learned model to *prove* system properties, assuming
+the trace is exhaustive: "no matter which mode task A chooses, task L must
+execute" is exactly ``d(A, L) = →``. This module provides those queries as
+first-class :class:`Property` objects with human-readable verdicts, plus a
+small prover that evaluates a property list against a function — used by
+the E3 benchmark against the paper's published case-study findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.classify import is_conjunction, is_disjunction
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import DETERMINES
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of checking one property."""
+
+    property_name: str
+    holds: bool
+    explanation: str
+
+    def __str__(self) -> str:
+        status = "PROVED" if self.holds else "NOT PROVED"
+        return f"{status}: {self.property_name} — {self.explanation}"
+
+
+class Property:
+    """Base class: a checkable claim about a dependency function."""
+
+    name = "property"
+
+    def check(self, function: DependencyFunction) -> Verdict:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CertainDependency(Property):
+    """``d(a, b) = →``: whenever *a* executes, *b* must execute."""
+
+    a: str
+    b: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"d({self.a}, {self.b}) = ->"
+
+    def check(self, function: DependencyFunction) -> Verdict:
+        _require_tasks(function, self.a, self.b)
+        value = function.value(self.a, self.b)
+        holds = value is DETERMINES
+        return Verdict(
+            self.name,
+            holds,
+            f"learned value is {value}"
+            + ("" if holds else f", not {DETERMINES}"),
+        )
+
+
+@dataclass(frozen=True)
+class MustExecuteWith(Property):
+    """No matter which mode *a* chooses, *b* must execute.
+
+    The paper's phrasing of ``d(A, L) = →``; provided separately so
+    reports read like the case study.
+    """
+
+    a: str
+    b: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"whenever {self.a} runs, {self.b} must run"
+
+    def check(self, function: DependencyFunction) -> Verdict:
+        return CertainDependency(self.a, self.b).check(function)
+
+
+@dataclass(frozen=True)
+class DisjunctionNode(Property):
+    """*task* conditionally chooses among execution paths."""
+
+    task: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.task} is a disjunction node"
+
+    def check(self, function: DependencyFunction) -> Verdict:
+        _require_tasks(function, self.task)
+        holds = is_disjunction(function, self.task)
+        return Verdict(
+            self.name,
+            holds,
+            "has >= 2 probable (->?) successors (chooses execution paths)"
+            if holds
+            else "lacks two probable successors",
+        )
+
+
+@dataclass(frozen=True)
+class ConjunctionNode(Property):
+    """*task* passively joins messages from several senders."""
+
+    task: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.task} is a conjunction node"
+
+    def check(self, function: DependencyFunction) -> Verdict:
+        _require_tasks(function, self.task)
+        holds = is_conjunction(function, self.task)
+        return Verdict(
+            self.name,
+            holds,
+            "depends on >= 2 senders (passively joins their messages)"
+            if holds
+            else "lacks two dependencies on senders",
+        )
+
+
+@dataclass(frozen=True)
+class ImplicitOrdering(Property):
+    """*first* provably completes before *second* starts.
+
+    The paper's Q-O finding: the learned ``d(O, Q) = →`` / ``d(Q, O) = ←``
+    pair proves O cannot preempt Q, tightening Q's latency bound.
+    """
+
+    first: str
+    second: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.first} always precedes {self.second}"
+
+    def check(self, function: DependencyFunction) -> Verdict:
+        _require_tasks(function, self.first, self.second)
+        forward = function.value(self.first, self.second)
+        holds = forward is DETERMINES
+        return Verdict(
+            self.name,
+            holds,
+            f"d({self.first}, {self.second}) = {forward}",
+        )
+
+
+def _require_tasks(function: DependencyFunction, *tasks: str) -> None:
+    known = set(function.tasks)
+    for task in tasks:
+        if task not in known:
+            raise AnalysisError(f"unknown task in property: {task}")
+
+
+def published_case_study_properties() -> list[Property]:
+    """The paper's Section 3.4 findings as checkable properties.
+
+    Built from :data:`repro.systems.gm.PUBLISHED_PROPERTIES`; used by the
+    E3 benchmark and the seed-stability ablation.
+    """
+    from repro.systems.gm import PUBLISHED_PROPERTIES
+
+    properties: list[Property] = []
+    for kind, payload in PUBLISHED_PROPERTIES:
+        if kind == "disjunction":
+            properties.append(DisjunctionNode(payload))
+        elif kind == "conjunction":
+            properties.append(ConjunctionNode(payload))
+        elif kind == "certain_dependency":
+            properties.append(CertainDependency(*payload))
+        elif kind == "implicit_dependency":
+            properties.append(ImplicitOrdering(*payload))
+        else:  # pragma: no cover - PUBLISHED_PROPERTIES is fixed
+            raise AnalysisError(f"unknown published property kind: {kind}")
+    return properties
+
+
+def prove_all(
+    function: DependencyFunction, properties: list[Property]
+) -> list[Verdict]:
+    """Check every property; never raises on a failed (only ill-posed) one."""
+    return [prop.check(function) for prop in properties]
+
+
+def proved_fraction(verdicts: list[Verdict]) -> float:
+    """Fraction of verdicts that hold (1.0 when the list is empty)."""
+    if not verdicts:
+        return 1.0
+    return sum(1 for v in verdicts if v.holds) / len(verdicts)

@@ -1,0 +1,23 @@
+"""Comparison baselines: direct-follows mining, static closure, correlation."""
+
+from repro.baselines.correlation import (
+    execution_matrix,
+    mine_by_correlation,
+    phi_coefficient,
+)
+from repro.baselines.direct_follows import (
+    DirectFollowsCounts,
+    count_direct_follows,
+    mine_dependencies,
+)
+from repro.baselines.static_closure import static_dependencies
+
+__all__ = [
+    "DirectFollowsCounts",
+    "count_direct_follows",
+    "mine_dependencies",
+    "static_dependencies",
+    "mine_by_correlation",
+    "execution_matrix",
+    "phi_coefficient",
+]

@@ -1,0 +1,99 @@
+"""Statistical baseline: co-occurrence correlation of task executions.
+
+A purely statistical take on dependency inference — compute, for every
+ordered task pair, the phi coefficient of their per-period execution
+indicators, and call strongly correlated pairs dependent. Direction is
+assigned by mean start-time order (the earlier task "determines" the
+later one).
+
+This is what a data scientist without the paper's model of computation
+would build first. The comparison against the message-guided learner
+(experiment E3's baseline table and
+``tests/test_correlation_baseline.py``) shows its blind spots:
+
+* constant tasks (always running) have undefined correlation — the
+  backbone of the system is invisible;
+* correlation is symmetric and confounded by common causes, so branch
+  siblings appear dependent;
+* it cannot distinguish data flow from coincidental co-activation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    DepValue,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+    lub,
+)
+from repro.trace.trace import Trace
+
+
+def execution_matrix(trace: Trace) -> np.ndarray:
+    """Binary matrix: rows = periods, columns = tasks (execution flags)."""
+    tasks = trace.tasks
+    matrix = np.zeros((len(trace), len(tasks)), dtype=float)
+    index = {task: column for column, task in enumerate(tasks)}
+    for row, period in enumerate(trace.periods):
+        for task in period.executed_tasks:
+            matrix[row, index[task]] = 1.0
+    return matrix
+
+
+def phi_coefficient(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation of two binary vectors (phi); NaN if constant."""
+    if x.std() == 0 or y.std() == 0:
+        return float("nan")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def mine_by_correlation(
+    trace: Trace, threshold: float = 0.6
+) -> DependencyFunction:
+    """Infer a dependency function from execution correlations.
+
+    Pairs with ``|phi| >= threshold`` (or perfect co-execution of
+    non-constant tasks) get a probable arrow from the earlier-starting
+    task to the later one; certainty is granted when co-execution is
+    perfect in the observed trace.
+    """
+    matrix = execution_matrix(trace)
+    tasks = trace.tasks
+    mean_starts: dict[str, float] = {}
+    for task in tasks:
+        starts = [
+            period.execution_of(task).start - period.start_time()
+            for period in trace.periods
+            if period.executed(task)
+        ]
+        mean_starts[task] = sum(starts) / len(starts) if starts else 0.0
+
+    entries: dict[tuple[str, str], DepValue] = {}
+    for i, a in enumerate(tasks):
+        for j, b in enumerate(tasks):
+            if j <= i:
+                continue
+            x, y = matrix[:, i], matrix[:, j]
+            # Constant columns (always-on or never-on tasks) have no
+            # variance: statistically invisible — the documented blind spot.
+            if x.std() == 0 or y.std() == 0:
+                continue
+            phi = phi_coefficient(x, y)
+            if not abs(phi) >= threshold:  # NaN-safe
+                continue
+            together_always = bool(np.all(x == y))
+            first, second = (a, b) if mean_starts[a] <= mean_starts[b] else (b, a)
+            forward = DETERMINES if together_always else MAY_DETERMINE
+            backward = DEPENDS if together_always else MAY_DEPEND
+            entries[first, second] = lub(
+                entries.get((first, second), forward), forward
+            )
+            entries[second, first] = lub(
+                entries.get((second, first), backward), backward
+            )
+    return DependencyFunction(tasks, entries)

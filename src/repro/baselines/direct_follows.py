@@ -1,0 +1,97 @@
+"""Process-mining baseline: direct-follows ordering inference.
+
+Classic process-discovery tools (the alpha-algorithm family) infer task
+orderings from activity logs alone, ignoring message traffic. This
+baseline applies that idea to our traces for comparison with the paper's
+message-guided learner:
+
+* within each period, task executions are ordered by start time;
+* ``a > b`` (direct succession) when ``b``'s execution is the next one to
+  start after ``a`` ends;
+* ``a`` *causes* ``b`` when ``a > b`` and never ``b > a``;
+* tasks observed in both orders (or overlapping) are *parallel*.
+
+The result is mapped into the paper's value lattice so the two approaches
+are directly comparable: causality with universal co-execution becomes
+``→``, with partial co-execution ``→?``, and everything else ``‖``. The
+baseline has no notion of message evidence, so it cannot distinguish
+coincidental scheduling order from data dependency — the comparison in
+experiment E3 quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    DepValue,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+    lub,
+)
+from repro.trace.trace import Trace
+
+
+@dataclass
+class DirectFollowsCounts:
+    """Raw succession and co-execution statistics."""
+
+    follows: dict[tuple[str, str], int] = field(default_factory=dict)
+    coexecuted: dict[tuple[str, str], int] = field(default_factory=dict)
+    executed: dict[str, int] = field(default_factory=dict)
+    overlapped: set[tuple[str, str]] = field(default_factory=set)
+    periods: int = 0
+
+    def bump(self, table: dict, key, amount: int = 1) -> None:
+        table[key] = table.get(key, 0) + amount
+
+
+def count_direct_follows(trace: Trace) -> DirectFollowsCounts:
+    """Scan *trace* and accumulate ordering statistics."""
+    counts = DirectFollowsCounts()
+    for period in trace.periods:
+        counts.periods += 1
+        executions = sorted(period.executions, key=lambda e: (e.start, e.task))
+        for execution in executions:
+            counts.bump(counts.executed, execution.task)
+        for first, second in zip(executions, executions[1:]):
+            if second.start >= first.end:
+                counts.bump(counts.follows, (first.task, second.task))
+        for i, first in enumerate(executions):
+            for second in executions[i + 1:]:
+                counts.bump(counts.coexecuted, (first.task, second.task))
+                counts.bump(counts.coexecuted, (second.task, first.task))
+                if second.start < first.end:
+                    counts.overlapped.add((first.task, second.task))
+                    counts.overlapped.add((second.task, first.task))
+    return counts
+
+
+def mine_dependencies(trace: Trace) -> DependencyFunction:
+    """Run the direct-follows baseline over *trace*."""
+    counts = count_direct_follows(trace)
+    entries: dict[tuple[str, str], DepValue] = {}
+    tasks = trace.tasks
+    for a in tasks:
+        for b in tasks:
+            if a == b:
+                continue
+            ab = counts.follows.get((a, b), 0)
+            ba = counts.follows.get((b, a), 0)
+            causal = ab > 0 and ba == 0 and (a, b) not in counts.overlapped
+            if not causal:
+                continue
+            # a always "determines" b only if b ran in every period a did.
+            runs_a = counts.executed.get(a, 0)
+            together = counts.coexecuted.get((a, b), 0)
+            certain_forward = runs_a > 0 and together == runs_a
+            runs_b = counts.executed.get(b, 0)
+            certain_backward = runs_b > 0 and together == runs_b
+            forward = DETERMINES if certain_forward else MAY_DETERMINE
+            backward = DEPENDS if certain_backward else MAY_DEPEND
+            entries[a, b] = lub(entries.get((a, b), forward), forward)
+            entries[b, a] = lub(entries.get((b, a), backward), backward)
+    return DependencyFunction(tasks, entries)

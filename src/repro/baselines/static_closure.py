@@ -1,0 +1,95 @@
+"""Static design analysis baseline: syntactic transitive closure.
+
+This is the "merely looking at the original model" analysis the paper
+contrasts against at the end of Section 3.3: walk the design graph and
+propagate certainty syntactically —
+
+* a path made only of unconditional edges through always-executing tasks
+  yields a certain dependency (``→``/``←``);
+* any path touching a conditional edge yields only a probable one
+  (``→?``/``←?``).
+
+Unlike the behavior-aware ground truth
+(:func:`repro.systems.semantics.ground_truth_dependencies`), this analysis
+cannot see that *all* branch alternatives converge: for Figure 1 it
+reports ``d(t1, t4) = →?`` where both the behavior-aware truth and the
+learner prove ``→``. That gap is precisely the paper's argument for
+learning over static inspection.
+"""
+
+from __future__ import annotations
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    DepValue,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+    PARALLEL,
+    lub,
+)
+from repro.systems.model import SystemDesign
+
+
+def _certain_reachability(design: SystemDesign) -> dict[str, dict[str, bool]]:
+    """``reach[a][b]`` = True for an all-unconditional path, False for a
+    path involving a conditional edge, absent for no path."""
+    reach: dict[str, dict[str, bool]] = {name: {} for name in design.task_names}
+    for name in reversed(design.topological_order()):
+        table = reach[name]
+        for edge in design.out_edges(name):
+            certain_hop = not edge.conditional
+            table[edge.receiver] = table.get(edge.receiver, False) or certain_hop
+            for target, certain_rest in reach[edge.receiver].items():
+                certain_path = certain_hop and certain_rest
+                table[target] = table.get(target, False) or certain_path
+    return reach
+
+
+def _always_executes(design: SystemDesign) -> frozenset[str]:
+    """Tasks that run every period, syntactically.
+
+    Sources always run; a task with an unconditional in-edge from an
+    always-running task runs too. This under-approximates the behavioral
+    truth (it cannot see converging branches), which is exactly the
+    blindness the paper attributes to static inspection.
+    """
+    always: set[str] = set()
+    for name in design.topological_order():
+        spec = design.task(name)
+        if spec.is_source or any(
+            not edge.conditional and edge.sender in always
+            for edge in design.in_edges(name)
+        ):
+            always.add(name)
+    return frozenset(always)
+
+
+def static_dependencies(design: SystemDesign) -> DependencyFunction:
+    """The syntactic-closure dependency function of *design*.
+
+    Forward certainty needs an all-unconditional path (the sender's own
+    execution then forces the receiver's). Backward certainty additionally
+    needs the dependee to always execute: ``d(a, b) = ←`` claims *b* ran
+    whenever *a* did, which syntax can only guarantee when *b* runs every
+    period.
+    """
+    reach = _certain_reachability(design)
+    always = _always_executes(design)
+    entries: dict[tuple[str, str], DepValue] = {}
+    for a in design.task_names:
+        for b in design.task_names:
+            if a == b:
+                continue
+            value = PARALLEL
+            if b in reach[a]:
+                value = lub(
+                    value, DETERMINES if reach[a][b] else MAY_DETERMINE
+                )
+            if a in reach[b]:
+                certain = reach[b][a] and b in always
+                value = lub(value, DEPENDS if certain else MAY_DEPEND)
+            if value is not PARALLEL:
+                entries[a, b] = value
+    return DependencyFunction(design.task_names, entries)

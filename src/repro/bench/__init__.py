@@ -1,0 +1,25 @@
+"""Benchmark support: workloads, timing harness, table reporting."""
+
+from repro.bench.harness import Measurement, measure, sweep
+from repro.bench.reporting import format_series, format_table, shape_check
+from repro.bench.workloads import (
+    DEFAULT_SEED,
+    Workload,
+    gm_workload,
+    scaling_workload,
+    simple_workload,
+)
+
+__all__ = [
+    "Measurement",
+    "measure",
+    "sweep",
+    "format_table",
+    "format_series",
+    "shape_check",
+    "Workload",
+    "DEFAULT_SEED",
+    "gm_workload",
+    "simple_workload",
+    "scaling_workload",
+]

@@ -1,0 +1,47 @@
+"""Timing helpers for the benchmark modules.
+
+``pytest-benchmark`` measures the hot loops; these helpers add one-shot
+wall-clock measurements for the sweep tables (running a 150-bound learner
+hundreds of times inside pytest-benchmark would be wasteful — the paper's
+own table is single-run seconds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed call."""
+
+    label: str
+    seconds: float
+    value: object
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.seconds:.3f} s"
+
+
+def measure(label: str, call: Callable[[], T]) -> Measurement:
+    """Run *call* once under a wall clock."""
+    started = time.perf_counter()
+    value = call()
+    elapsed = time.perf_counter() - started
+    return Measurement(label=label, seconds=elapsed, value=value)
+
+
+def sweep(
+    label: str,
+    parameters: list,
+    call: Callable[[object], object],
+) -> list[Measurement]:
+    """Measure *call* once per parameter."""
+    return [
+        measure(f"{label}[{parameter}]", lambda p=parameter: call(p))
+        for parameter in parameters
+    ]

@@ -1,0 +1,67 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+The paper reports a small runtime table (Section 3.4) and qualitative
+series; these helpers print comparable artifacts from our runs so the
+EXPERIMENTS.md paper-vs-measured record can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not have {columns} cells")
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max([len(headers[i])] + [len(row[i]) for row in rendered])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[object, object]]
+) -> str:
+    """Render an (x, y) series as one aligned block."""
+    return format_table(["x", name], [list(point) for point in points])
+
+
+def shape_check(values: Sequence[float], expect: str) -> bool:
+    """Check the qualitative *shape* of a measured series.
+
+    ``expect`` is one of ``"increasing"``, ``"decreasing"``,
+    ``"nondecreasing"``, ``"nonincreasing"``. The paper's absolute numbers
+    are machine-specific; shapes are what the reproduction asserts.
+    """
+    pairs = list(zip(values, values[1:]))
+    checks = {
+        "increasing": all(a < b for a, b in pairs),
+        "decreasing": all(a > b for a, b in pairs),
+        "nondecreasing": all(a <= b for a, b in pairs),
+        "nonincreasing": all(a >= b for a, b in pairs),
+    }
+    if expect not in checks:
+        raise ValueError(f"unknown shape {expect!r}")
+    return checks[expect]

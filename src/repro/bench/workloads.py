@@ -1,0 +1,78 @@
+"""Standard workloads shared by the benchmark harness and the examples.
+
+Each workload couples a design with a simulated trace at a fixed seed so
+every benchmark run sees identical inputs. The GM workload mirrors the
+paper's case-study scale: 18 tasks, 27 periods, a few hundred bus
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.sim.simulator import SimulationRun, Simulator, SimulatorConfig
+from repro.systems.examples import simple_four_task_design
+from repro.systems.gm import PAPER_PERIOD_COUNT, gm_case_study_design
+from repro.systems.model import SystemDesign
+from repro.systems.random_gen import RandomDesignConfig, random_design
+from repro.trace.trace import Trace
+
+#: Seed used by every standard workload; change for sensitivity studies.
+DEFAULT_SEED = 7
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A reproducible (design, simulation) pair."""
+
+    name: str
+    design: SystemDesign
+    run: SimulationRun
+
+    @property
+    def trace(self) -> Trace:
+        return self.run.trace
+
+
+@lru_cache(maxsize=None)
+def gm_workload(
+    periods: int = PAPER_PERIOD_COUNT, seed: int = DEFAULT_SEED
+) -> Workload:
+    """The paper-scale case study: 18 tasks, 27 periods, one CAN bus."""
+    design = gm_case_study_design()
+    run = Simulator(design, SimulatorConfig(period_length=100.0), seed=seed).run(
+        periods
+    )
+    return Workload("gm", design, run)
+
+
+@lru_cache(maxsize=None)
+def simple_workload(periods: int = 12, seed: int = DEFAULT_SEED) -> Workload:
+    """The Figure 1 four-task model, simulated (not the hand-built trace)."""
+    design = simple_four_task_design()
+    run = Simulator(design, SimulatorConfig(period_length=50.0), seed=seed).run(
+        periods
+    )
+    return Workload("simple", design, run)
+
+
+@lru_cache(maxsize=None)
+def scaling_workload(
+    task_count: int,
+    periods: int = 10,
+    seed: int = DEFAULT_SEED,
+) -> Workload:
+    """Random layered design of *task_count* tasks for complexity sweeps."""
+    design = random_design(
+        RandomDesignConfig(
+            task_count=task_count,
+            ecu_count=max(2, task_count // 5),
+            layer_count=min(5, max(2, task_count // 3)),
+        ),
+        seed=seed,
+    )
+    run = Simulator(
+        design, SimulatorConfig(period_length=60.0 + 8.0 * task_count), seed=seed
+    ).run(periods)
+    return Workload(f"random{task_count}", design, run)

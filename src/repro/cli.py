@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+A small operational surface over the library::
+
+    repro simulate gm --periods 27 --out trace.log
+    repro validate trace.log
+    repro learn trace.log --bound 32 --dot graph.dot --report report.md
+    repro monitor trace.log --model model.json
+
+Every command reads/writes the textual log format by default; ``--format``
+selects CSV or JSON. ``main()`` returns a process exit code and never
+calls ``sys.exit`` itself, so it is directly testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence, TextIO
+
+from repro.analysis.drift import DriftMonitor
+from repro.analysis.graph import DependencyGraph
+from repro.analysis.report import (
+    dumps_model,
+    loads_model,
+    markdown_report,
+    to_graphml,
+)
+from repro.core.learner import learn_dependencies
+from repro.errors import ReproError
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.examples import (
+    diamond_design,
+    pipeline_design,
+    simple_four_task_design,
+)
+from repro.systems.gateway import gateway_design
+from repro.systems.gm import gm_case_study_design
+from repro.systems.random_gen import RandomDesignConfig, random_design
+from repro.trace import csvio, jsonio, textio
+from repro.trace.trace import Trace
+from repro.trace.validate import Severity, validate_trace
+
+DESIGNS = {
+    "simple": simple_four_task_design,
+    "gm": gm_case_study_design,
+    "gateway": gateway_design,
+    "diamond": diamond_design,
+    "pipeline": lambda: pipeline_design(5),
+}
+
+
+def _read_trace(path: str, fmt: str) -> Trace:
+    with open(path, "r", encoding="utf-8") as stream:
+        if fmt == "text":
+            return textio.load_trace(stream)
+        if fmt == "csv":
+            return csvio.load_csv(stream)
+        if fmt == "json":
+            return jsonio.load_json(stream)
+    raise ReproError(f"unknown trace format: {fmt}")
+
+
+def _write_trace(trace: Trace, path: str, fmt: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        if fmt == "text":
+            textio.dump_trace(trace, stream, precision=17)
+        elif fmt == "csv":
+            csvio.dump_csv(trace, stream)
+        elif fmt == "json":
+            jsonio.dump_json(trace, stream)
+        else:
+            raise ReproError(f"unknown trace format: {fmt}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatic model generation for black box real-time "
+        "systems (DATE 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate a reference design")
+    simulate.add_argument(
+        "design", choices=sorted(DESIGNS) + ["random", "file"]
+    )
+    simulate.add_argument("--design-file",
+                          help="JSON design spec (with design = file)")
+    simulate.add_argument("--periods", type=int, default=20)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--tasks", type=int, default=10,
+                          help="task count for the random design")
+    simulate.add_argument("--period-length", type=float, default=None)
+    simulate.add_argument("--out", required=True)
+    simulate.add_argument("--format", choices=("text", "csv", "json"),
+                          default="text")
+
+    validate = sub.add_parser("validate", help="check a trace against the MOC")
+    validate.add_argument("trace")
+    validate.add_argument("--format", choices=("text", "csv", "json"),
+                          default="text")
+    validate.add_argument("--tolerance", type=float, default=0.0)
+
+    learn = sub.add_parser("learn", help="learn a dependency model")
+    learn.add_argument("trace")
+    learn.add_argument("--format", choices=("text", "csv", "json"),
+                       default="text")
+    learn.add_argument("--bound", type=int, default=None,
+                       help="hypothesis bound (omit for the exact algorithm)")
+    learn.add_argument("--tolerance", type=float, default=0.0)
+    learn.add_argument("--dot", help="write the dependency graph as DOT")
+    learn.add_argument("--graphml", help="write the graph as GraphML")
+    learn.add_argument("--model-json", help="write the model as JSON")
+    learn.add_argument("--report", help="write a Markdown report")
+    learn.add_argument("--quiet", action="store_true")
+
+    monitor = sub.add_parser(
+        "monitor", help="check a trace against a saved model (drift)"
+    )
+    monitor.add_argument("trace")
+    monitor.add_argument("--format", choices=("text", "csv", "json"),
+                         default="text")
+    monitor.add_argument("--model", required=True,
+                         help="model JSON written by 'learn --model-json'")
+    monitor.add_argument("--tolerance", type=float, default=0.0)
+
+    analyze = sub.add_parser(
+        "analyze", help="modes and learning-curve analysis of a trace"
+    )
+    analyze.add_argument("trace")
+    analyze.add_argument("--format", choices=("text", "csv", "json"),
+                         default="text")
+    analyze.add_argument("--bound", type=int, default=16)
+    analyze.add_argument("--curve", action="store_true",
+                         help="print the per-period learning curve")
+
+    cover = sub.add_parser(
+        "coverage", help="trace coverage against a JSON design spec"
+    )
+    cover.add_argument("trace")
+    cover.add_argument("--format", choices=("text", "csv", "json"),
+                       default="text")
+    cover.add_argument("--design-file", required=True)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
+    if args.design == "file":
+        from repro.systems.specio import load_design
+
+        if not args.design_file:
+            raise ReproError("simulate file requires --design-file")
+        with open(args.design_file, "r", encoding="utf-8") as stream:
+            design = load_design(stream)
+        default_length = 100.0
+    elif args.design == "random":
+        design = random_design(
+            RandomDesignConfig(task_count=args.tasks), seed=args.seed
+        )
+        default_length = 60.0 + 8.0 * args.tasks
+    else:
+        design = DESIGNS[args.design]()
+        default_length = 100.0
+    length = (
+        args.period_length if args.period_length is not None else default_length
+    )
+    trace = Simulator(
+        design, SimulatorConfig(period_length=length), seed=args.seed
+    ).run(args.periods).trace
+    _write_trace(trace, args.out, args.format)
+    out.write(
+        f"wrote {len(trace)} periods / {trace.message_count()} messages "
+        f"to {args.out}\n"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
+    trace = _read_trace(args.trace, args.format)
+    diagnostics = validate_trace(trace, tolerance=args.tolerance)
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    for diagnostic in diagnostics:
+        out.write(f"{diagnostic}\n")
+    out.write(
+        f"{len(trace)} periods, {trace.message_count()} messages: "
+        f"{len(errors)} errors, {len(diagnostics) - len(errors)} warnings\n"
+    )
+    return 1 if errors else 0
+
+
+def _cmd_learn(args: argparse.Namespace, out: TextIO) -> int:
+    trace = _read_trace(args.trace, args.format)
+    result = learn_dependencies(
+        trace, bound=args.bound, tolerance=args.tolerance
+    )
+    model = result.lub()
+    if not args.quiet:
+        out.write(result.summary() + "\n\n")
+        out.write(model.to_table() + "\n")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as stream:
+            stream.write(DependencyGraph(model).to_dot())
+        out.write(f"DOT graph written to {args.dot}\n")
+    if args.graphml:
+        with open(args.graphml, "w", encoding="utf-8") as stream:
+            stream.write(to_graphml(model))
+        out.write(f"GraphML written to {args.graphml}\n")
+    if args.model_json:
+        with open(args.model_json, "w", encoding="utf-8") as stream:
+            stream.write(dumps_model(model))
+        out.write(f"model written to {args.model_json}\n")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as stream:
+            stream.write(markdown_report(result))
+        out.write(f"report written to {args.report}\n")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace, out: TextIO) -> int:
+    trace = _read_trace(args.trace, args.format)
+    with open(args.model, "r", encoding="utf-8") as stream:
+        model = loads_model(stream.read())
+    monitor = DriftMonitor(model, tolerance=args.tolerance)
+    report = monitor.observe_all(trace.periods)
+    out.write(report.summary() + "\n")
+    return 1 if report.anomaly_count else 0
+
+
+def _cmd_analyze(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.analysis.convergence import learning_curve
+    from repro.analysis.modes import extract_modes
+
+    trace = _read_trace(args.trace, args.format)
+    out.write(extract_modes(trace).summary() + "\n")
+    if args.curve:
+        out.write("\n" + learning_curve(trace, bound=args.bound).summary() + "\n")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.analysis.coverage import coverage
+    from repro.systems.specio import load_design
+
+    trace = _read_trace(args.trace, args.format)
+    with open(args.design_file, "r", encoding="utf-8") as stream:
+        design = load_design(stream)
+    report = coverage(trace, design)
+    out.write(report.summary() + "\n")
+    return 0 if report.exhaustive else 1
+
+
+def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    stream = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "validate": _cmd_validate,
+        "learn": _cmd_learn,
+        "monitor": _cmd_monitor,
+        "analyze": _cmd_analyze,
+        "coverage": _cmd_coverage,
+    }
+    try:
+        return handlers[args.command](args, stream)
+    except ReproError as error:
+        stream.write(f"error: {error}\n")
+        return 2
+    except OSError as error:
+        stream.write(f"error: {error}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

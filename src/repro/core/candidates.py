@@ -1,0 +1,84 @@
+"""Candidate sender-receiver computation ``A_m`` (paper Section 3.1).
+
+The bus logger gives no information about a message's sender or receiver;
+the learner enumerates every pair that is *temporally possible*:
+
+* the sender must be a task that executed in the period and whose end event
+  is no later than the message's rising edge — the MOC sends messages only
+  when the sender task finishes (Section 2.1);
+* the receiver must be a task that executed in the period and whose start
+  event is no earlier than the message's falling edge — the firing rule is
+  the arrival of all required inputs, so a task cannot consume a message
+  after it has already started;
+* sender and receiver are distinct.
+
+These are exactly the constraints that produce the paper's worked example:
+in period 1 of Figure 2, ``A_m1 = {(t1, t2), (t1, t4)}`` and
+``A_m2 = {(t1, t4), (t2, t4)}``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.trace.events import MessageOccurrence, TaskExecution
+from repro.trace.period import Period
+
+
+def candidate_pairs(
+    period: Period,
+    message: MessageOccurrence,
+    tolerance: float = 0.0,
+) -> tuple[tuple[str, str], ...]:
+    """All temporally possible ``(sender, receiver)`` pairs for *message*.
+
+    *tolerance* loosens the timing comparisons by a small epsilon, useful
+    when timestamps were quantized by the logging device. Pairs are
+    returned in deterministic (sender, receiver) name order.
+    """
+    senders = possible_senders(period.executions, message, tolerance)
+    receivers = possible_receivers(period.executions, message, tolerance)
+    pairs = [
+        (s, r)
+        for s in senders
+        for r in receivers
+        if s != r
+    ]
+    pairs.sort()
+    return tuple(pairs)
+
+
+def possible_senders(
+    executions: Sequence[TaskExecution],
+    message: MessageOccurrence,
+    tolerance: float = 0.0,
+) -> tuple[str, ...]:
+    """Tasks that finished no later than the message's rising edge."""
+    names = [
+        e.task for e in executions if e.end <= message.rise + tolerance
+    ]
+    names.sort()
+    return tuple(names)
+
+
+def possible_receivers(
+    executions: Sequence[TaskExecution],
+    message: MessageOccurrence,
+    tolerance: float = 0.0,
+) -> tuple[str, ...]:
+    """Tasks that started no earlier than the message's falling edge."""
+    names = [
+        e.task for e in executions if e.start >= message.fall - tolerance
+    ]
+    names.sort()
+    return tuple(names)
+
+
+def period_candidates(
+    period: Period, tolerance: float = 0.0
+) -> list[tuple[MessageOccurrence, tuple[tuple[str, str], ...]]]:
+    """``(message, A_m)`` for every message of *period*, in rise order."""
+    return [
+        (message, candidate_pairs(period, message, tolerance))
+        for message in period.messages
+    ]

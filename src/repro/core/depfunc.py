@@ -1,0 +1,236 @@
+"""Dependency functions ``d : T × T → V`` (paper Definition 5).
+
+A :class:`DependencyFunction` assigns a dependency value to every ordered
+pair of distinct tasks. The diagonal is fixed at ``‖`` (a task neither
+depends on nor determines itself in this formalism).
+
+The set ``D`` of all dependency functions over a task set, ordered
+pointwise by the value lattice, is itself a lattice (paper Section 2.3);
+this module supplies the pointwise order, LUB/GLB, the heuristic weight
+(paper Definition 8), and table rendering matching the paper's figures.
+
+Functions are immutable; all "modifying" operations return new instances.
+Internally entries are stored sparsely: only non-``‖`` pairs are kept,
+which keeps hypothesis tracking cheap for the large sparse matrices the
+case study produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core import lattice
+from repro.core.lattice import DepValue, PARALLEL
+
+
+class DependencyFunction:
+    """An immutable map from ordered task pairs to dependency values.
+
+    Parameters
+    ----------
+    tasks:
+        The task universe ``T``, as an ordered sequence of unique names.
+        Order only affects rendering, not semantics.
+    entries:
+        Mapping from ``(t1, t2)`` name pairs to :class:`DepValue`. Pairs
+        absent from the mapping default to ``‖``. Diagonal entries and
+        entries equal to ``‖`` are dropped.
+    """
+
+    __slots__ = ("_tasks", "_index", "_entries", "_hash")
+
+    def __init__(
+        self,
+        tasks: Iterable[str],
+        entries: Mapping[tuple[str, str], DepValue] | None = None,
+    ):
+        self._tasks = tuple(tasks)
+        if len(set(self._tasks)) != len(self._tasks):
+            raise ValueError("duplicate task names in dependency function")
+        self._index = {name: i for i, name in enumerate(self._tasks)}
+        cleaned: dict[tuple[str, str], DepValue] = {}
+        if entries:
+            for (t1, t2), value in entries.items():
+                if t1 not in self._index or t2 not in self._index:
+                    raise ValueError(f"entry ({t1}, {t2}) names unknown task")
+                if t1 == t2:
+                    if value is not PARALLEL:
+                        raise ValueError(f"diagonal entry ({t1}, {t1}) must be ‖")
+                    continue
+                if value is not PARALLEL:
+                    cleaned[t1, t2] = value
+        self._entries = cleaned
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bottom(cls, tasks: Iterable[str]) -> "DependencyFunction":
+        """The most specific hypothesis ``d⊥`` (everything ``‖``)."""
+        return cls(tasks)
+
+    @classmethod
+    def top(cls, tasks: Iterable[str]) -> "DependencyFunction":
+        """The least specific hypothesis ``d⊤`` (everything ``↔?``)."""
+        names = tuple(tasks)
+        entries = {
+            (a, b): lattice.MAY_MUTUAL for a in names for b in names if a != b
+        }
+        return cls(names, entries)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def tasks(self) -> tuple[str, ...]:
+        """The task universe, in rendering order."""
+        return self._tasks
+
+    def value(self, t1: str, t2: str) -> DepValue:
+        """The dependency value ``d(t1, t2)``."""
+        if t1 not in self._index or t2 not in self._index:
+            raise KeyError(f"unknown task in pair ({t1}, {t2})")
+        return self._entries.get((t1, t2), PARALLEL)
+
+    def __getitem__(self, pair: tuple[str, str]) -> DepValue:
+        return self.value(*pair)
+
+    def nonparallel_pairs(self) -> Iterator[tuple[str, str, DepValue]]:
+        """Iterate ``(t1, t2, value)`` for every non-``‖`` entry."""
+        for (t1, t2), value in self._entries.items():
+            yield t1, t2, value
+
+    def entry_count(self) -> int:
+        """Number of non-``‖`` entries."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lattice structure (pointwise lift of the value lattice)
+    # ------------------------------------------------------------------
+
+    def _check_same_universe(self, other: "DependencyFunction") -> None:
+        if set(self._tasks) != set(other._tasks):
+            raise ValueError("dependency functions over different task sets")
+
+    def leq(self, other: "DependencyFunction") -> bool:
+        """Pointwise ``⊑``: self is more specific than (or equal to) other."""
+        self._check_same_universe(other)
+        for (t1, t2), value in self._entries.items():
+            if not lattice.leq(value, other.value(t1, t2)):
+                return False
+        # Pairs absent from self are ‖, the bottom — always ⊑ anything.
+        return True
+
+    def lt(self, other: "DependencyFunction") -> bool:
+        """Strict pointwise order."""
+        return self.leq(other) and self != other
+
+    def lub(self, other: "DependencyFunction") -> "DependencyFunction":
+        """Pointwise least upper bound (the generalization/merge operator)."""
+        self._check_same_universe(other)
+        entries = dict(self._entries)
+        for (t1, t2), value in other._entries.items():
+            current = entries.get((t1, t2))
+            entries[t1, t2] = value if current is None else lattice.lub(current, value)
+        return DependencyFunction(self._tasks, entries)
+
+    def glb(self, other: "DependencyFunction") -> "DependencyFunction":
+        """Pointwise greatest lower bound."""
+        self._check_same_universe(other)
+        entries = {}
+        for (t1, t2), value in self._entries.items():
+            entries[t1, t2] = lattice.glb(value, other.value(t1, t2))
+        return DependencyFunction(self._tasks, entries)
+
+    def weight(self) -> int:
+        """Heuristic weight (paper Definition 8).
+
+        Sum over all ordered task pairs of the square distance of the pair's
+        value from the lattice bottom. More general hypotheses weigh more.
+        """
+        return sum(lattice.distance(v) for v in self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Equality / hashing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependencyFunction):
+            return NotImplemented
+        return (
+            set(self._tasks) == set(other._tasks)
+            and self._entries == other._entries
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (frozenset(self._tasks), frozenset(self._entries.items()))
+            )
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_table(self, unicode_arrows: bool = True) -> str:
+        """Render the function as the square table used in the paper.
+
+        Rows are senders, columns receivers; the diagonal shows ``‖``.
+        """
+        if unicode_arrows:
+            display = {
+                PARALLEL: "‖",
+                lattice.DETERMINES: "→",
+                lattice.DEPENDS: "←",
+                lattice.MUTUAL: "↔",
+                lattice.MAY_DETERMINE: "→?",
+                lattice.MAY_DEPEND: "←?",
+                lattice.MAY_MUTUAL: "↔?",
+            }
+        else:
+            display = {v: v.value for v in lattice.ALL_VALUES}
+        width = max(
+            [len(name) for name in self._tasks]
+            + [len(text) for text in display.values()]
+        )
+        header = " " * (width + 1) + " ".join(n.rjust(width) for n in self._tasks)
+        lines = [header]
+        for t1 in self._tasks:
+            cells = [
+                display[self.value(t1, t2)].rjust(width) if t1 != t2 else
+                display[PARALLEL].rjust(width)
+                for t2 in self._tasks
+            ]
+            lines.append(t1.rjust(width) + " " + " ".join(cells))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[tuple[str, str], DepValue]:
+        """A plain-dict copy of the non-``‖`` entries."""
+        return dict(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"DependencyFunction(tasks={len(self._tasks)}, "
+            f"entries={len(self._entries)}, weight={self.weight()})"
+        )
+
+
+def lub_many(functions: Iterable[DependencyFunction]) -> DependencyFunction:
+    """Pointwise LUB of a non-empty collection of dependency functions.
+
+    This is the ``⊔ D*`` operator of the paper's Lemma: the final answer
+    reported when the exact algorithm leaves several most-specific
+    hypotheses (Section 3.3's ``dLUB``).
+    """
+    iterator = iter(functions)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("lub_many() requires at least one dependency function")
+    for function in iterator:
+        result = result.lub(function)
+    return result

@@ -1,0 +1,155 @@
+"""The exact (exponential) generalization algorithm (paper Section 3.1).
+
+The learner starts from the singleton set ``{d⊥}`` and processes one period
+at a time. Within a period it analyzes each message in bus order: every
+current hypothesis is extended with every feasible sender-receiver
+assumption for the message (feasible = temporally possible and not already
+used for another message of the same period). Hypotheses with no feasible
+extension die. At the end of the period the per-period assumptions are
+dropped, equal hypotheses are unified, and hypotheses that are strict
+generalizations of another survivor are deleted.
+
+The hypothesis set grows exponentially in the number of messages in the
+worst case; Theorem 1 shows the underlying problem is NP-hard, so this is
+unavoidable for an exact most-specific-set algorithm.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.core.candidates import candidate_pairs
+from repro.core.hypothesis import Hypothesis, Pair
+from repro.core.result import LearningResult
+from repro.core.stats import CoExecutionStats
+from repro.errors import EmptyHypothesisSpaceError, LearningError
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+
+def _remove_redundant(pair_sets: Iterable[frozenset[Pair]]) -> list[frozenset[Pair]]:
+    """Keep only minimal pair sets under inclusion.
+
+    With shared statistics, pair-set inclusion coincides with the pointwise
+    dependency-function order, so deleting strict supersets is exactly the
+    paper's redundancy elimination.
+    """
+    unique = set(pair_sets)
+    by_size = sorted(unique, key=len)
+    minimal: list[frozenset[Pair]] = []
+    for candidate in by_size:
+        if not any(kept < candidate for kept in minimal):
+            minimal.append(candidate)
+    return minimal
+
+
+class ExactLearner:
+    """Incremental exact learner over a fixed task universe.
+
+    Feed periods one at a time with :meth:`feed`; read the current
+    most-specific set at any point with :meth:`result`.
+
+    Parameters
+    ----------
+    tasks:
+        The task universe ``T``.
+    tolerance:
+        Timing tolerance passed to candidate computation.
+    max_hypotheses:
+        Safety valve: abort with :class:`~repro.errors.LearningError` if the
+        working set exceeds this size (the exact algorithm is exponential;
+        runaway inputs are better stopped than swapped to death).
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[str],
+        tolerance: float = 0.0,
+        max_hypotheses: int = 2_000_000,
+    ):
+        self.stats = CoExecutionStats(tasks)
+        self.tolerance = tolerance
+        self.max_hypotheses = max_hypotheses
+        self._hypotheses: list[Hypothesis] = [Hypothesis.most_specific()]
+        self._periods = 0
+        self._messages = 0
+        self._peak = 1
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    def feed(self, period: Period) -> None:
+        """Process one instance (period)."""
+        started = time.perf_counter()
+        self.stats.add_period(period.executed_tasks)
+        current = self._hypotheses
+        for message in period.messages:
+            pairs = candidate_pairs(period, message, self.tolerance)
+            next_generation: dict[tuple[frozenset, frozenset], Hypothesis] = {}
+            for hypothesis in current:
+                for pair in pairs:
+                    if not hypothesis.can_extend(pair):
+                        continue
+                    extended = hypothesis.extend(pair)
+                    next_generation[extended.pairs, extended.period_pairs] = extended
+            if not next_generation:
+                raise EmptyHypothesisSpaceError(self._periods, len(pairs))
+            if len(next_generation) > self.max_hypotheses:
+                raise LearningError(
+                    f"exact learner exceeded {self.max_hypotheses} hypotheses "
+                    f"in period {self._periods}; use the bounded heuristic"
+                )
+            current = list(next_generation.values())
+            self._messages += 1
+            self._peak = max(self._peak, len(current))
+        # Post-processing: drop assumptions, unify, remove redundant.
+        minimal = _remove_redundant(h.pairs for h in current)
+        self._hypotheses = [Hypothesis(pairs) for pairs in minimal]
+        self._periods += 1
+        self._elapsed += time.perf_counter() - started
+
+    def feed_trace(self, trace: Trace | Sequence[Period]) -> None:
+        """Process every period of *trace* in order."""
+        periods = trace.periods if isinstance(trace, Trace) else trace
+        for period in periods:
+            self.feed(period)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def hypothesis_count(self) -> int:
+        return len(self._hypotheses)
+
+    def result(self) -> LearningResult:
+        """The current most-specific hypothesis set as a result object."""
+        ordered = sorted(
+            self._hypotheses,
+            key=lambda h: (h.weight(self.stats), sorted(h.pairs)),
+        )
+        return LearningResult(
+            functions=[h.to_function(self.stats) for h in ordered],
+            hypotheses=ordered,
+            stats=self.stats,
+            algorithm="exact",
+            bound=None,
+            periods=self._periods,
+            messages=self._messages,
+            peak_hypotheses=self._peak,
+            elapsed_seconds=self._elapsed,
+        )
+
+
+def learn_exact(
+    trace: Trace,
+    tolerance: float = 0.0,
+    max_hypotheses: int = 2_000_000,
+) -> LearningResult:
+    """Run the exact algorithm over a complete trace."""
+    learner = ExactLearner(trace.tasks, tolerance, max_hypotheses)
+    learner.feed_trace(trace)
+    return learner.result()

@@ -1,0 +1,364 @@
+"""The bounded heuristic learner (paper Section 3.2).
+
+The exact algorithm's hypothesis set grows exponentially; the heuristic
+replaces the unordered set with a weight-ordered working list of at most
+``bound`` hypotheses. Every time an extension pushes the list one past the
+bound, the two hypotheses of least weight are replaced by their least upper
+bound (pair-set union). Weight is the paper's Definition 8: the sum over
+all ordered task pairs of the square distance of the pair's dependency
+value from the lattice bottom, so merging the lightest pair sacrifices the
+least specificity.
+
+The heuristic is sound (Theorem 2) but conservative: the result is no
+longer guaranteed to be the most-specific set. The paper's Lemma shows the
+LUB of its output equals the bound-1 output, and Theorem 4 that on
+convergence it coincides with the exact result; both are checked
+empirically by ``repro.theory.theorems`` and experiment E4.
+
+Two implementation notes:
+
+* Weights are maintained incrementally. Extending a hypothesis by one pair
+  changes at most two dependency-function entries (the pair and its
+  mirror), so the child's weight is the parent's plus an O(1) delta; a
+  merge adds one delta per pair unique to the second parent. This is what
+  makes the paper's ``O(m b^2 + m b t^2)`` bound reachable in Python.
+* Merging must preserve a *valid per-period assignment*. A merged
+  hypothesis inherits the first parent's per-period assumptions: they are
+  a legal distinct assignment of the period's messages so far, and remain
+  legal inside the union pair set. If a later message still finds every
+  candidate claimed, the whole period's assignment is *recomputed* by
+  backtracking over the period's candidate history, preferring pairs the
+  hypothesis already assumed (so the recovery generalizes minimally).
+  Both rules keep every kept hypothesis matching every processed instance,
+  which is what Theorem 2 requires of the heuristic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Iterable, Sequence
+
+from repro.core import lattice
+from repro.core.candidates import candidate_pairs
+from repro.core.hypothesis import Hypothesis, Pair
+from repro.core.result import LearningResult
+from repro.core.stats import CoExecutionStats
+from repro.core.weights import DistanceFunction
+from repro.errors import EmptyHypothesisSpaceError
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+_PoolKey = tuple[frozenset, frozenset]
+
+
+def _pair_value(
+    pairs: frozenset[Pair], a: str, b: str, stats: CoExecutionStats
+) -> lattice.DepValue:
+    """Dependency value of ``(a, b)`` for a raw pair set (O(1))."""
+    forward = (a, b) in pairs
+    backward = (b, a) in pairs
+    if not forward and not backward:
+        return lattice.PARALLEL
+    certain = stats.always_implies(a, b)
+    value = lattice.PARALLEL
+    if forward:
+        value = lattice.DETERMINES if certain else lattice.MAY_DETERMINE
+    if backward:
+        back = lattice.DEPENDS if certain else lattice.MAY_DEPEND
+        value = lattice.lub(value, back)
+    return value
+
+
+def _extension_delta(
+    pairs: frozenset[Pair],
+    pair: Pair,
+    stats: CoExecutionStats,
+    distance: DistanceFunction = lattice.distance,
+) -> int:
+    """Weight change from adding *pair* to *pairs*."""
+    if pair in pairs:
+        return 0
+    s, r = pair
+    extended = pairs | {pair}
+    return (
+        distance(_pair_value(extended, s, r, stats))
+        - distance(_pair_value(pairs, s, r, stats))
+        + distance(_pair_value(extended, r, s, stats))
+        - distance(_pair_value(pairs, r, s, stats))
+    )
+
+
+def _union_weight(
+    base_pairs: frozenset[Pair],
+    base_weight: int,
+    other_pairs: frozenset[Pair],
+    stats: CoExecutionStats,
+    distance: DistanceFunction = lattice.distance,
+) -> int:
+    """Weight of ``base ∪ other`` given the weight of ``base``."""
+    new_pairs = other_pairs - base_pairs
+    if not new_pairs:
+        return base_weight
+    union = base_pairs | new_pairs
+    touched: set[Pair] = set()
+    for a, b in new_pairs:
+        touched.add((a, b))
+        touched.add((b, a))
+    weight = base_weight
+    for a, b in touched:
+        weight += distance(_pair_value(union, a, b, stats))
+        weight -= distance(_pair_value(base_pairs, a, b, stats))
+    return weight
+
+
+def _set_weight(
+    pairs: frozenset[Pair],
+    stats: CoExecutionStats,
+    distance: DistanceFunction = lattice.distance,
+) -> int:
+    """Weight of a pair set from scratch (used once per period)."""
+    touched: set[Pair] = set()
+    for a, b in pairs:
+        touched.add((a, b))
+        touched.add((b, a))
+    return sum(distance(_pair_value(pairs, a, b, stats)) for a, b in touched)
+
+
+class BoundedLearner:
+    """Incremental heuristic learner with a hypothesis bound.
+
+    Parameters
+    ----------
+    tasks:
+        The task universe ``T``.
+    bound:
+        Maximum number of hypotheses kept (paper's ``b``); must be >= 1.
+    tolerance:
+        Timing tolerance passed to candidate computation.
+    distance:
+        Per-value weight contribution (paper Definition 7 by default);
+        see :mod:`repro.core.weights` for alternatives and the
+        monotonicity requirement.
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[str],
+        bound: int,
+        tolerance: float = 0.0,
+        distance: DistanceFunction = lattice.distance,
+    ):
+        if bound < 1:
+            raise ValueError(f"bound must be >= 1, got {bound}")
+        self.stats = CoExecutionStats(tasks)
+        self.bound = bound
+        self.tolerance = tolerance
+        self.distance = distance
+        self._hypotheses: list[Hypothesis] = [Hypothesis.most_specific()]
+        self._periods = 0
+        self._messages = 0
+        self._peak = 1
+        self._merges = 0
+        self._elapsed = 0.0
+        self._sequence = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    def feed(self, period: Period) -> None:
+        """Process one instance (period)."""
+        started = time.perf_counter()
+        self.stats.add_period(period.executed_tasks)
+        # Stats changed, so cached weights are stale: recompute once.
+        entries: list[tuple[Hypothesis, int]] = [
+            (h, _set_weight(h.pairs, self.stats, self.distance))
+            for h in self._hypotheses
+        ]
+        history: list[Sequence[Pair]] = []
+        for message in period.messages:
+            pairs = candidate_pairs(period, message, self.tolerance)
+            if not pairs:
+                raise EmptyHypothesisSpaceError(self._periods)
+            history.append(pairs)
+            entries = self._process_message(entries, pairs, history)
+            self._messages += 1
+            self._peak = max(self._peak, len(entries))
+        # Post-processing: drop assumptions and unify equal pair sets.
+        # Unlike the exact algorithm, the heuristic keeps dominated
+        # hypotheses: deleting a strict generalization can remove pairs
+        # from the working list's union that the bound-1 run retains,
+        # which would falsify the paper's Lemma (⊔D*(b) = d*(1)). The
+        # union of kept pair sets is invariant under extension, merging
+        # and equality-unification — redundancy deletion is the only
+        # operation that could break it.
+        by_pairs: dict[frozenset, Hypothesis] = {}
+        for hypothesis, _weight in entries:
+            by_pairs[hypothesis.pairs] = hypothesis.end_period()
+        self._hypotheses = list(by_pairs.values())
+        self._periods += 1
+        self._elapsed += time.perf_counter() - started
+
+    def _process_message(
+        self,
+        entries: list[tuple[Hypothesis, int]],
+        pairs: Sequence[Pair],
+        history: Sequence[Sequence[Pair]],
+    ) -> list[tuple[Hypothesis, int]]:
+        """One generalization step: extend every hypothesis, keep <= bound."""
+        pool: dict[_PoolKey, tuple[Hypothesis, int]] = {}
+        heap: list[tuple[int, int, _PoolKey]] = []
+
+        def insert(hypothesis: Hypothesis, weight: int) -> None:
+            key = (hypothesis.pairs, hypothesis.period_pairs)
+            if key in pool:
+                return
+            pool[key] = (hypothesis, weight)
+            heapq.heappush(heap, (weight, next(self._sequence), key))
+            while len(pool) > self.bound:
+                first = self._pop_lightest(pool, heap)
+                second = self._pop_lightest(pool, heap)
+                merged = first[0].merge(second[0])
+                merged_weight = _union_weight(
+                    first[0].pairs,
+                    first[1],
+                    second[0].pairs,
+                    self.stats,
+                    self.distance,
+                )
+                self._merges += 1
+                merged_key = (merged.pairs, merged.period_pairs)
+                if merged_key not in pool:
+                    pool[merged_key] = (merged, merged_weight)
+                    heapq.heappush(
+                        heap, (merged_weight, next(self._sequence), merged_key)
+                    )
+
+        for hypothesis, weight in entries:
+            feasible = [p for p in pairs if hypothesis.can_extend(p)]
+            if feasible:
+                for pair in feasible:
+                    child = hypothesis.extend(pair)
+                    child_weight = weight + _extension_delta(
+                        hypothesis.pairs, pair, self.stats, self.distance
+                    )
+                    insert(child, child_weight)
+            else:
+                # Merged-lineage corner case: the inherited assignment
+                # claims every candidate of this message. Recompute a
+                # legal assignment for the whole period so far.
+                repaired = self._reassign_period(hypothesis, history)
+                if repaired is not None:
+                    insert(
+                        repaired,
+                        _set_weight(repaired.pairs, self.stats, self.distance),
+                    )
+        if not pool:
+            raise EmptyHypothesisSpaceError(self._periods)
+        return list(pool.values())
+
+    @staticmethod
+    def _reassign_period(
+        hypothesis: Hypothesis, history: Sequence[Sequence[Pair]]
+    ) -> Hypothesis | None:
+        """Find a fresh distinct assignment of the period's messages.
+
+        Candidates already assumed by the hypothesis are preferred so the
+        repair generalizes as little as possible. Returns None when no
+        assignment exists (the pool's other lineages may still survive).
+        """
+        options = sorted(
+            (
+                sorted(candidates, key=lambda p: p not in hypothesis.pairs),
+                index,
+            )
+            for index, candidates in enumerate(history)
+        )
+        # Most-constrained message first.
+        options.sort(key=lambda item: len(item[0]))
+        assignment: list[Pair] = []
+        used: set[Pair] = set()
+
+        def backtrack(position: int) -> bool:
+            if position == len(options):
+                return True
+            for pair in options[position][0]:
+                if pair in used:
+                    continue
+                used.add(pair)
+                assignment.append(pair)
+                if backtrack(position + 1):
+                    return True
+                used.discard(pair)
+                assignment.pop()
+            return False
+
+        if not backtrack(0):
+            return None
+        chosen = frozenset(assignment)
+        # Also generalize by the current message's full candidate set (the
+        # last history entry): an unbounded run would have spawned one
+        # extension per candidate, and their LUB contributes all of them.
+        # Keeping that contribution preserves the paper's Lemma — the LUB
+        # of the bounded output stays equal to the bound-1 hypothesis.
+        current = frozenset(history[-1])
+        return Hypothesis(hypothesis.pairs | chosen | current, chosen)
+
+    @staticmethod
+    def _pop_lightest(
+        pool: dict[_PoolKey, tuple[Hypothesis, int]],
+        heap: list[tuple[int, int, _PoolKey]],
+    ) -> tuple[Hypothesis, int]:
+        """Pop the least-weight live entry (heap entries are lazily stale)."""
+        while True:
+            _weight, _seq, key = heapq.heappop(heap)
+            entry = pool.pop(key, None)
+            if entry is not None:
+                return entry
+
+    def feed_trace(self, trace: Trace | Sequence[Period]) -> None:
+        """Process every period of *trace* in order."""
+        periods = trace.periods if isinstance(trace, Trace) else trace
+        for period in periods:
+            self.feed(period)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def hypothesis_count(self) -> int:
+        return len(self._hypotheses)
+
+    def result(self) -> LearningResult:
+        """The current hypothesis list as a result object."""
+        ordered = sorted(
+            self._hypotheses,
+            key=lambda h: (h.weight(self.stats), sorted(h.pairs)),
+        )
+        return LearningResult(
+            functions=[h.to_function(self.stats) for h in ordered],
+            hypotheses=ordered,
+            stats=self.stats,
+            algorithm="heuristic",
+            bound=self.bound,
+            periods=self._periods,
+            messages=self._messages,
+            peak_hypotheses=self._peak,
+            elapsed_seconds=self._elapsed,
+            merge_count=self._merges,
+        )
+
+
+def learn_bounded(
+    trace: Trace,
+    bound: int,
+    tolerance: float = 0.0,
+    distance: DistanceFunction = lattice.distance,
+) -> LearningResult:
+    """Run the bounded heuristic over a complete trace."""
+    learner = BoundedLearner(trace.tasks, bound, tolerance, distance)
+    learner.feed_trace(trace)
+    return learner.result()

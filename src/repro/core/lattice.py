@@ -1,0 +1,294 @@
+"""The dependency-value lattice ``V`` (paper Definition 5 and Figure 3).
+
+The seven dependency values describe what one task's execution implies about
+another's within a period:
+
+========  =============================================================
+value     meaning for ``d(t1, t2)``
+========  =============================================================
+``‖``     *parallel*: t1 never depends on / determines t2
+``→``     if t1 executes, it always determines the execution of t2
+``←``     if t1 executes, it always depends on the execution of t2
+``↔``     t1 and t2 always depend on each other (never observable;
+          defined for lattice completeness)
+``→?``    t1 may or may not determine t2
+``←?``    t1 may or may not depend on t2
+``↔?``    t1 and t2 may or may not depend on / determine each other
+========  =============================================================
+
+The partial order (Figure 3) is a four-level lattice::
+
+                ↔?                 (least specific / top)
+             /   |   \\
+           →?    ↔    ←?
+            | \\ /  \\ / |
+            |  X    X  |
+            | / \\  / \\ |
+           →            ←
+             \\        /
+                 ‖                 (most specific / bottom)
+
+i.e. ``‖ < → < {→?, ↔} < ↔?`` and ``‖ < ← < {←?, ↔} < ↔?``.
+
+The module provides the partial order, least upper bound (``lub``), greatest
+lower bound (``glb``), the heuristic's square-distance weight (paper
+Definition 7), and helper predicates used throughout the learner.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class DepValue(enum.Enum):
+    """One of the seven dependency values of the lattice ``V``."""
+
+    PARALLEL = "||"
+    DETERMINES = "->"
+    DEPENDS = "<-"
+    MUTUAL = "<->"
+    MAY_DETERMINE = "->?"
+    MAY_DEPEND = "<-?"
+    MAY_MUTUAL = "<->?"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"DepValue({self.value!r})"
+
+    @property
+    def is_directed(self) -> bool:
+        """True for the four values that assert a definite direction."""
+        return self in _DIRECTED
+
+    @property
+    def is_certain(self) -> bool:
+        """True for values without a question mark (``‖``, ``→``, ``←``, ``↔``)."""
+        return self in _CERTAIN
+
+    @property
+    def has_forward(self) -> bool:
+        """True if the value includes a (possible) forward arrow t1 → t2."""
+        return self in _HAS_FORWARD
+
+    @property
+    def has_backward(self) -> bool:
+        """True if the value includes a (possible) backward arrow t1 ← t2."""
+        return self in _HAS_BACKWARD
+
+    @property
+    def mirror(self) -> "DepValue":
+        """The value seen from the opposite side of the pair.
+
+        ``d(t1, t2) = →`` corresponds to ``d(t2, t1) = ←`` when a relation is
+        symmetric in evidence; the learner uses independent entries per
+        direction, but serialization and several analyses need the mirror.
+        """
+        return _MIRROR[self]
+
+
+# Short aliases matching the paper's notation.
+PARALLEL = DepValue.PARALLEL
+DETERMINES = DepValue.DETERMINES
+DEPENDS = DepValue.DEPENDS
+MUTUAL = DepValue.MUTUAL
+MAY_DETERMINE = DepValue.MAY_DETERMINE
+MAY_DEPEND = DepValue.MAY_DEPEND
+MAY_MUTUAL = DepValue.MAY_MUTUAL
+
+ALL_VALUES: tuple[DepValue, ...] = (
+    PARALLEL,
+    DETERMINES,
+    DEPENDS,
+    MUTUAL,
+    MAY_DETERMINE,
+    MAY_DEPEND,
+    MAY_MUTUAL,
+)
+
+_DIRECTED = frozenset({DETERMINES, DEPENDS, MAY_DETERMINE, MAY_DEPEND})
+_CERTAIN = frozenset({PARALLEL, DETERMINES, DEPENDS, MUTUAL})
+_HAS_FORWARD = frozenset({DETERMINES, MUTUAL, MAY_DETERMINE, MAY_MUTUAL})
+_HAS_BACKWARD = frozenset({DEPENDS, MUTUAL, MAY_DEPEND, MAY_MUTUAL})
+
+_MIRROR = {
+    PARALLEL: PARALLEL,
+    DETERMINES: DEPENDS,
+    DEPENDS: DETERMINES,
+    MUTUAL: MUTUAL,
+    MAY_DETERMINE: MAY_DEPEND,
+    MAY_DEPEND: MAY_DETERMINE,
+    MAY_MUTUAL: MAY_MUTUAL,
+}
+
+# Level of each value in the Figure 3 lattice (bottom = 0).
+_LEVEL = {
+    PARALLEL: 0,
+    DETERMINES: 1,
+    DEPENDS: 1,
+    MAY_DETERMINE: 2,
+    MUTUAL: 2,
+    MAY_DEPEND: 2,
+    MAY_MUTUAL: 3,
+}
+
+# Covering relation of the Figure 3 lattice: value -> immediate successors.
+_COVERS: dict[DepValue, frozenset[DepValue]] = {
+    PARALLEL: frozenset({DETERMINES, DEPENDS}),
+    DETERMINES: frozenset({MAY_DETERMINE, MUTUAL}),
+    DEPENDS: frozenset({MAY_DEPEND, MUTUAL}),
+    MAY_DETERMINE: frozenset({MAY_MUTUAL}),
+    MUTUAL: frozenset({MAY_MUTUAL}),
+    MAY_DEPEND: frozenset({MAY_MUTUAL}),
+    MAY_MUTUAL: frozenset(),
+}
+
+
+def _compute_order() -> dict[DepValue, frozenset[DepValue]]:
+    """Reflexive-transitive closure of the covering relation.
+
+    Returns a map from each value to the set of values greater than or equal
+    to it (its up-set).
+    """
+    up: dict[DepValue, set[DepValue]] = {v: {v} for v in ALL_VALUES}
+    # The lattice has 4 levels; iterate to a fixed point.
+    changed = True
+    while changed:
+        changed = False
+        for value in ALL_VALUES:
+            for successor in _COVERS[value]:
+                new = up[successor] - up[value]
+                if new:
+                    up[value] |= new
+                    changed = True
+    return {v: frozenset(s) for v, s in up.items()}
+
+
+_UP_SET = _compute_order()
+_DOWN_SET: dict[DepValue, frozenset[DepValue]] = {
+    v: frozenset(u for u in ALL_VALUES if v in _UP_SET[u]) for v in ALL_VALUES
+}
+
+
+def leq(a: DepValue, b: DepValue) -> bool:
+    """``a ⊑ b``: *a* is more specific than (or equal to) *b*.
+
+    Paper Definition 4: more specific hypotheses match fewer instances; the
+    bottom ``‖`` is the most specific value, the top ``↔?`` the least.
+    """
+    return b in _UP_SET[a]
+
+
+def lt(a: DepValue, b: DepValue) -> bool:
+    """Strict version of :func:`leq`."""
+    return a is not b and leq(a, b)
+
+
+def comparable(a: DepValue, b: DepValue) -> bool:
+    """True if *a* and *b* are ordered either way in the lattice."""
+    return leq(a, b) or leq(b, a)
+
+
+def lub(a: DepValue, b: DepValue) -> DepValue:
+    """Least upper bound ``a ⊔ b`` of two dependency values.
+
+    The lattice in Figure 3 has unique LUBs; this is the generalization
+    operator used by the heuristic's merge step and by :func:`lub_many`.
+    """
+    return _LUB[a, b]
+
+
+def glb(a: DepValue, b: DepValue) -> DepValue:
+    """Greatest lower bound ``a ⊓ b`` of two dependency values."""
+    return _GLB[a, b]
+
+
+def _pick_unique(candidates: Iterable[DepValue], kind: str, a: DepValue, b: DepValue) -> DepValue:
+    ordered = sorted(candidates, key=lambda v: _LEVEL[v])
+    if not ordered:
+        raise ValueError(f"no {kind} for {a} and {b}: lattice corrupt")
+    return ordered[0] if kind == "lub" else ordered[-1]
+
+
+def _compute_lub_table() -> dict[tuple[DepValue, DepValue], DepValue]:
+    table = {}
+    for a in ALL_VALUES:
+        for b in ALL_VALUES:
+            upper = _UP_SET[a] & _UP_SET[b]
+            # Minimal elements of the common up-set; Figure 3 guarantees a
+            # unique one (it is a lattice).
+            minimal = [u for u in upper if not any(lt(v, u) for v in upper)]
+            if len(minimal) != 1:
+                raise ValueError(f"LUB of {a}, {b} not unique: {minimal}")
+            table[a, b] = minimal[0]
+    return table
+
+
+def _compute_glb_table() -> dict[tuple[DepValue, DepValue], DepValue]:
+    table = {}
+    for a in ALL_VALUES:
+        for b in ALL_VALUES:
+            lower = _DOWN_SET[a] & _DOWN_SET[b]
+            maximal = [u for u in lower if not any(lt(u, v) for v in lower)]
+            if len(maximal) != 1:
+                raise ValueError(f"GLB of {a}, {b} not unique: {maximal}")
+            table[a, b] = maximal[0]
+    return table
+
+
+_LUB = _compute_lub_table()
+_GLB = _compute_glb_table()
+
+
+def lub_many(values: Iterable[DepValue]) -> DepValue:
+    """LUB of an arbitrary collection; ``‖`` for an empty collection."""
+    result = PARALLEL
+    for value in values:
+        result = _LUB[result, value]
+    return result
+
+
+def glb_many(values: Iterable[DepValue]) -> DepValue:
+    """GLB of an arbitrary collection; ``↔?`` for an empty collection."""
+    result = MAY_MUTUAL
+    for value in values:
+        result = _GLB[result, value]
+    return result
+
+
+def distance(value: DepValue) -> int:
+    """Square distance from the lattice bottom (paper Definition 7).
+
+    ``‖ -> 0``, ``→/← -> 1``, ``→?/↔/←? -> 4``, ``↔? -> 9``; i.e. the
+    square of the value's level in the lattice. The heuristic's weight
+    function sums this over all task pairs.
+    """
+    return _LEVEL[value] ** 2
+
+
+def level(value: DepValue) -> int:
+    """Height of *value* in the Figure 3 lattice (bottom ``‖`` is 0)."""
+    return _LEVEL[value]
+
+
+def parse_value(text: str) -> DepValue:
+    """Parse a dependency value from its textual form.
+
+    Accepts the ASCII forms used by :class:`DepValue` (``||``, ``->``,
+    ``<-``, ``<->``, ``->?``, ``<-?``, ``<->?``) as well as the Unicode
+    arrows used in the paper (``‖``, ``→``, ``←``, ``↔`` and their ``?``
+    variants).
+    """
+    normalized = (
+        text.strip()
+        .replace("‖", "||")
+        .replace("↔", "<->")
+        .replace("→", "->")
+        .replace("←", "<-")
+    )
+    for value in ALL_VALUES:
+        if value.value == normalized:
+            return value
+    raise ValueError(f"unknown dependency value: {text!r}")

@@ -1,0 +1,74 @@
+"""High-level learning facade.
+
+:func:`learn_dependencies` is the library's main entry point: give it a
+trace and optionally a hypothesis bound, get back a
+:class:`~repro.core.result.LearningResult`.
+
+>>> from repro.systems.examples import simple_four_task_design
+>>> from repro.trace.synthetic import paper_figure2_trace
+>>> result = learn_dependencies(paper_figure2_trace())
+>>> len(result.functions)
+5
+>>> print(result.lub().value("t1", "t4"))
+->
+"""
+
+from __future__ import annotations
+
+from repro.core.exact import ExactLearner, learn_exact
+from repro.core.heuristic import BoundedLearner, learn_bounded
+from repro.core.result import LearningResult
+from repro.trace.trace import Trace
+
+
+def learn_dependencies(
+    trace: Trace,
+    bound: int | None = None,
+    tolerance: float = 0.0,
+    max_hypotheses: int = 2_000_000,
+) -> LearningResult:
+    """Learn the most-specific dependency hypotheses from *trace*.
+
+    Parameters
+    ----------
+    trace:
+        The execution trace (task universe + periods).
+    bound:
+        ``None`` runs the exact, exponential algorithm; a positive integer
+        runs the polynomial bounded heuristic with that hypothesis bound.
+    tolerance:
+        Timing tolerance for candidate sender/receiver computation, in the
+        trace's time unit. Use a small epsilon for quantized timestamps.
+    max_hypotheses:
+        Safety cap for the exact algorithm's working set.
+
+    Returns
+    -------
+    LearningResult
+        Surviving hypotheses, their LUB, and run metadata.
+    """
+    if bound is None:
+        return learn_exact(trace, tolerance, max_hypotheses)
+    return learn_bounded(trace, bound, tolerance)
+
+
+def make_learner(
+    tasks,
+    bound: int | None = None,
+    tolerance: float = 0.0,
+) -> ExactLearner | BoundedLearner:
+    """An incremental learner for online use (feed periods as they arrive)."""
+    if bound is None:
+        return ExactLearner(tasks, tolerance)
+    return BoundedLearner(tasks, bound, tolerance)
+
+
+__all__ = [
+    "learn_dependencies",
+    "make_learner",
+    "LearningResult",
+    "ExactLearner",
+    "BoundedLearner",
+    "learn_exact",
+    "learn_bounded",
+]

@@ -1,0 +1,255 @@
+"""Negative examples and version-space consistency (paper's future work).
+
+The paper closes with: "It could also be extended by version space
+techniques provided negative examples in the execution traces." This
+module provides that extension.
+
+Two kinds of negative evidence are supported:
+
+* :class:`ForbiddenBehavior` — a specification-level assertion that some
+  executed-task set never occurs in any period ("the brake actuator never
+  runs without the brake sensor"). A learned dependency function *rejects*
+  a forbidden behavior when one of its certain arrows is violated by the
+  behavior — i.e. the model already proves the behavior impossible.
+* full negative *periods* — complete instances (executions + messages)
+  asserted impossible; a hypothesis is consistent with one when the
+  matching function ``M`` evaluates false on it.
+
+Unlike positive instances, matching against negatives is not monotone in
+the hypothesis order (a more general hypothesis has more arrows, so it
+can both gain explanations and gain violated certainties), so the
+consistent region is not an interval of the lattice. The honest and
+useful operation is therefore *filtering and diagnosis* of the
+most-specific set the positive-only learner produces — Mitchell's S
+boundary — which is what :class:`VersionSpace` implements:
+
+* which surviving hypotheses are consistent with all negative evidence;
+* for each rejection, the certain arrows that prove it (the explanation a
+  verification engineer wants);
+* negatives that *no* survivor rejects, flagging either an insufficient
+  trace or a wrong specification claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.matching import matches_period
+from repro.core.result import LearningResult
+from repro.trace.period import Period
+
+
+@dataclass(frozen=True)
+class ForbiddenBehavior:
+    """An executed-task set asserted to be impossible within one period."""
+
+    executed: frozenset[str]
+    description: str = ""
+
+    def __init__(self, executed: Iterable[str], description: str = ""):
+        object.__setattr__(self, "executed", frozenset(executed))
+        object.__setattr__(self, "description", description)
+
+    def __str__(self) -> str:
+        label = self.description or "forbidden behavior"
+        return f"{label}: {{{', '.join(sorted(self.executed))}}}"
+
+
+@dataclass(frozen=True)
+class ViolatedArrow:
+    """One certain arrow that a forbidden behavior breaks."""
+
+    source: str
+    target: str
+    value: str
+
+    def __str__(self) -> str:
+        return (
+            f"d({self.source}, {self.target}) = {self.value} but "
+            f"{self.source} runs without {self.target}"
+        )
+
+
+def violated_arrows(
+    function: DependencyFunction, behavior: ForbiddenBehavior
+) -> tuple[ViolatedArrow, ...]:
+    """Certain arrows of *function* that *behavior* violates.
+
+    A certain value at ``(a, b)`` (any of ``→``, ``←``, ``↔``) asserts
+    that whenever ``a`` executes, ``b`` executes; the behavior violates it
+    by running ``a`` without ``b``.
+    """
+    found = []
+    for a, b, value in function.nonparallel_pairs():
+        if not value.is_certain:
+            continue
+        if a in behavior.executed and b not in behavior.executed:
+            found.append(ViolatedArrow(a, b, str(value)))
+    found.sort(key=lambda arrow: (arrow.source, arrow.target))
+    return tuple(found)
+
+
+def rejects(function: DependencyFunction, behavior: ForbiddenBehavior) -> bool:
+    """True if *function* proves *behavior* impossible."""
+    return bool(violated_arrows(function, behavior))
+
+
+@dataclass(frozen=True)
+class NegativeVerdict:
+    """Outcome of checking one piece of negative evidence."""
+
+    evidence: str
+    rejected_by_all: bool
+    rejected_by_some: bool
+    explanations: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        if self.rejected_by_all:
+            status = "REJECTED (all hypotheses)"
+        elif self.rejected_by_some:
+            status = "REJECTED (some hypotheses only)"
+        else:
+            status = "NOT REJECTED"
+        return f"{status}: {self.evidence}"
+
+
+class VersionSpace:
+    """Consistency of a learned result against negative evidence.
+
+    Parameters
+    ----------
+    result:
+        A positive-only learning result (Mitchell's S boundary: the
+        most-specific hypotheses consistent with the positive instances).
+    """
+
+    def __init__(self, result: LearningResult):
+        self.result = result
+
+    # ------------------------------------------------------------------
+    # Forbidden behaviors (task-set negatives)
+    # ------------------------------------------------------------------
+
+    def check_behavior(self, behavior: ForbiddenBehavior) -> NegativeVerdict:
+        """Which hypotheses prove *behavior* impossible."""
+        rejections = [
+            violated_arrows(function, behavior)
+            for function in self.result.functions
+        ]
+        rejected = [arrows for arrows in rejections if arrows]
+        explanations: tuple[str, ...] = ()
+        if rejected:
+            explanations = tuple(str(arrow) for arrow in rejected[0])
+        return NegativeVerdict(
+            evidence=str(behavior),
+            rejected_by_all=len(rejected) == len(rejections),
+            rejected_by_some=bool(rejected),
+            explanations=explanations,
+        )
+
+    def consistent_functions(
+        self, behaviors: Sequence[ForbiddenBehavior]
+    ) -> list[DependencyFunction]:
+        """Hypotheses that reject *every* forbidden behavior.
+
+        These are the surviving hypotheses consistent with the negative
+        evidence — the version-space elimination step.
+        """
+        return [
+            function
+            for function in self.result.functions
+            if all(rejects(function, behavior) for behavior in behaviors)
+        ]
+
+    # ------------------------------------------------------------------
+    # Full negative periods
+    # ------------------------------------------------------------------
+
+    def check_negative_period(
+        self, period: Period, tolerance: float = 0.0
+    ) -> NegativeVerdict:
+        """Which hypotheses are inconsistent with (i.e. fail to match) a
+        complete period asserted impossible."""
+        non_matching = [
+            not matches_period(function, period, tolerance)
+            for function in self.result.functions
+        ]
+        return NegativeVerdict(
+            evidence=f"negative period with tasks "
+            f"{sorted(period.executed_tasks)} and "
+            f"{len(period.messages)} messages",
+            rejected_by_all=all(non_matching),
+            rejected_by_some=any(non_matching),
+        )
+
+    def eliminate(
+        self,
+        behaviors: Sequence[ForbiddenBehavior] = (),
+        periods: Sequence[Period] = (),
+        tolerance: float = 0.0,
+    ) -> "EliminationReport":
+        """Run full candidate elimination against all negative evidence."""
+        behavior_verdicts = [self.check_behavior(b) for b in behaviors]
+        period_verdicts = [
+            self.check_negative_period(p, tolerance) for p in periods
+        ]
+        surviving = [
+            function
+            for function in self.result.functions
+            if all(rejects(function, b) for b in behaviors)
+            and all(
+                not matches_period(function, p, tolerance) for p in periods
+            )
+        ]
+        return EliminationReport(
+            surviving=surviving,
+            behavior_verdicts=behavior_verdicts,
+            period_verdicts=period_verdicts,
+            original_count=len(self.result.functions),
+        )
+
+
+@dataclass
+class EliminationReport:
+    """Result of candidate elimination with negative evidence."""
+
+    surviving: list[DependencyFunction]
+    behavior_verdicts: list[NegativeVerdict]
+    period_verdicts: list[NegativeVerdict] = field(default_factory=list)
+    original_count: int = 0
+
+    @property
+    def eliminated_count(self) -> int:
+        return self.original_count - len(self.surviving)
+
+    @property
+    def unrejected_evidence(self) -> list[NegativeVerdict]:
+        """Negative evidence no hypothesis rejects.
+
+        Non-empty means the trace did not expose enough behavior to prove
+        the claim — or the claim is simply wrong about the system.
+        """
+        return [
+            verdict
+            for verdict in self.behavior_verdicts + self.period_verdicts
+            if not verdict.rejected_by_some
+        ]
+
+    def summary(self) -> str:
+        lines = [
+            f"hypotheses: {self.original_count} -> {len(self.surviving)} "
+            f"after negative evidence"
+        ]
+        for verdict in self.behavior_verdicts + self.period_verdicts:
+            lines.append(f"  {verdict}")
+            for explanation in verdict.explanations:
+                lines.append(f"      because {explanation}")
+        if self.unrejected_evidence:
+            lines.append(
+                "  WARNING: evidence above marked NOT REJECTED is not "
+                "refuted by the learned model — insufficient trace or "
+                "wrong specification claim"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Incremental co-execution statistics over a trace.
+
+The value assigned to an assumed dependency pair is *certain* (``→``/``←``)
+or *probable* (``→?``/``←?``) depending on whether the two tasks always
+co-execute: ``d(s, r)`` can carry a certain forward arrow only if in every
+period where ``s`` executed, ``r`` executed as well (paper Definition 5).
+
+Hypotheses share one :class:`CoExecutionStats` instance per learning run; it
+is updated once per period and consulted when hypothesis dependency
+functions are materialized. Keeping these statistics global (rather than
+per-hypothesis) is what makes the pair-set representation of hypotheses
+exact: a hypothesis's dependency function is fully determined by the set of
+sender-receiver pairs it has assumed plus these statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class CoExecutionStats:
+    """Counts, per ordered task pair, periods where one ran without the other.
+
+    ``exclusive_count(s, r)`` is the number of periods seen so far in which
+    ``s`` executed but ``r`` did not. ``always_implies(s, r)`` is then the
+    paper's certainty condition for both ``d(s, r) = →`` and
+    ``d(s, r) = ←`` (both are conditioned on the execution of the pair's
+    *first* task).
+    """
+
+    __slots__ = ("_tasks", "_exclusive", "_executions", "_periods", "version")
+
+    def __init__(self, tasks: Iterable[str]):
+        self._tasks = tuple(tasks)
+        self._exclusive: dict[tuple[str, str], int] = {}
+        self._executions: dict[str, int] = {t: 0 for t in self._tasks}
+        self._periods = 0
+        #: Monotone counter, bumped once per period; used as a cache key by
+        #: hypotheses so they can memoize weights between periods.
+        self.version = 0
+
+    @property
+    def tasks(self) -> tuple[str, ...]:
+        return self._tasks
+
+    @property
+    def period_count(self) -> int:
+        """Number of periods folded in so far."""
+        return self._periods
+
+    def add_period(self, executed: Iterable[str]) -> None:
+        """Fold one period's executed-task set into the statistics."""
+        ran = set(executed)
+        unknown = ran - set(self._tasks)
+        if unknown:
+            raise ValueError(f"unknown tasks in period: {sorted(unknown)}")
+        for task in ran:
+            self._executions[task] += 1
+        idle = [t for t in self._tasks if t not in ran]
+        for s in ran:
+            for r in idle:
+                key = (s, r)
+                self._exclusive[key] = self._exclusive.get(key, 0) + 1
+        self._periods += 1
+        self.version += 1
+
+    def exclusive_count(self, s: str, r: str) -> int:
+        """Periods in which *s* executed but *r* did not."""
+        return self._exclusive.get((s, r), 0)
+
+    def execution_count(self, task: str) -> int:
+        """Periods in which *task* executed."""
+        return self._executions[task]
+
+    def always_implies(self, s: str, r: str) -> bool:
+        """True iff every period where *s* executed, *r* executed too.
+
+        Vacuously true if *s* never executed; a dependency pair can only be
+        assumed for tasks that executed, so the vacuous case never reaches a
+        hypothesis's dependency function.
+        """
+        return self.exclusive_count(s, r) == 0
+
+    def snapshot(self) -> "CoExecutionStats":
+        """An independent copy (used by learners that branch exploration)."""
+        copy = CoExecutionStats(self._tasks)
+        copy._exclusive = dict(self._exclusive)
+        copy._executions = dict(self._executions)
+        copy._periods = self._periods
+        copy.version = self.version
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"CoExecutionStats(tasks={len(self._tasks)}, "
+            f"periods={self._periods})"
+        )

@@ -1,0 +1,57 @@
+"""Alternative weight functions for the bounded heuristic (ablation).
+
+The paper's Definition 7 weights a dependency value by the *square* of
+its height in the lattice, making the merge step strongly prefer
+sacrificing specific hypotheses. The choice is a heuristic; this module
+provides the paper's function plus two natural alternatives so the design
+decision can be ablated (DESIGN.md §6):
+
+* :func:`square_distance` — the paper's (0, 1, 4, 9);
+* :func:`linear_distance` — lattice height (0, 1, 2, 3);
+* :func:`entry_count` — 0 for ``‖``, 1 otherwise (pure sparsity).
+
+All of them are monotone in the lattice order, which is what the
+heuristic's soundness argument needs; the Lemma holds for any of them
+(the merge bookkeeping, not the ordering, carries it) — checked in the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import lattice
+from repro.core.lattice import DepValue
+
+DistanceFunction = Callable[[DepValue], int]
+
+
+def square_distance(value: DepValue) -> int:
+    """The paper's Definition 7 (square of the lattice height)."""
+    return lattice.distance(value)
+
+
+def linear_distance(value: DepValue) -> int:
+    """Lattice height without squaring."""
+    return lattice.level(value)
+
+
+def entry_count(value: DepValue) -> int:
+    """1 for any non-parallel value: weight = number of non-``‖`` cells."""
+    return 0 if value is lattice.PARALLEL else 1
+
+
+NAMED_DISTANCES: dict[str, DistanceFunction] = {
+    "square": square_distance,
+    "linear": linear_distance,
+    "count": entry_count,
+}
+
+
+def is_monotone(distance: DistanceFunction) -> bool:
+    """Check the soundness prerequisite: strictly monotone in the order."""
+    for a in lattice.ALL_VALUES:
+        for b in lattice.ALL_VALUES:
+            if lattice.lt(a, b) and not distance(a) < distance(b):
+                return False
+    return True

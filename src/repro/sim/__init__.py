@@ -1,0 +1,43 @@
+"""Execution simulator: ECUs, CAN bus, period executive, bus logger."""
+
+from repro.sim.can import CanBus, Frame, Transmission
+from repro.sim.ecu import Ecu
+from repro.sim.executive import Executive, PeriodPlan
+from repro.sim.logger import BusLogger, GroundTruthMessage
+from repro.sim.random_exec import (
+    AlternatingExecutionModel,
+    BestCaseExecutionModel,
+    ExecutionTimeModel,
+    UniformExecutionModel,
+    WorstCaseExecutionModel,
+)
+from repro.sim.simulator import (
+    SimulationRun,
+    Simulator,
+    SimulatorConfig,
+    simulate_trace,
+)
+from repro.sim.timebase import TIME_EPSILON, approximately, quantize
+
+__all__ = [
+    "Ecu",
+    "CanBus",
+    "Frame",
+    "Transmission",
+    "Executive",
+    "PeriodPlan",
+    "BusLogger",
+    "GroundTruthMessage",
+    "ExecutionTimeModel",
+    "UniformExecutionModel",
+    "WorstCaseExecutionModel",
+    "BestCaseExecutionModel",
+    "AlternatingExecutionModel",
+    "Simulator",
+    "SimulatorConfig",
+    "SimulationRun",
+    "simulate_trace",
+    "TIME_EPSILON",
+    "quantize",
+    "approximately",
+]

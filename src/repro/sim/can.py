@@ -1,0 +1,178 @@
+"""CAN bus model: priority arbitration, non-preemptive frames.
+
+CAN arbitration picks the queued frame with the lowest identifier
+(``frame_priority``) whenever the bus goes idle; an ongoing transmission is
+never preempted. Frame transmission takes a fixed time per frame
+(``frame_time``), abstracting bit-stuffing and payload-length variation,
+plus an optional inter-frame gap.
+
+Like :class:`~repro.sim.ecu.Ecu`, the bus is a passive state machine
+driven by the simulator's event loop. Completed transmissions are handed
+back as :class:`Transmission` records carrying sender/receiver ground
+truth — the *logger* is what strips that information before the learner
+sees the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.timebase import TIME_EPSILON
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A queued message frame (ground-truth view)."""
+
+    sender: str
+    receiver: str
+    priority: int
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """A completed frame transmission with its bus timing."""
+
+    frame: Frame
+    rise: float
+    fall: float
+
+
+@dataclass
+class CanBus:
+    """One shared CAN bus.
+
+    ``error_rate`` enables the CAN error/retransmission model: each
+    completed transmission is corrupted with that probability (seeded by
+    ``error_seed``), in which case no frame is delivered — the bus time is
+    consumed, and the frame re-enters arbitration. This reproduces the
+    retransmission-induced latency jitter real buses exhibit, one of the
+    paper's sources of environment nondeterminism.
+    """
+
+    frame_time: float = 0.5
+    inter_frame_gap: float = 0.05
+    error_rate: float = 0.0
+    error_seed: int = 0
+    _queue: list[Frame] = field(default_factory=list)
+    _current: Frame | None = None
+    _rise: float = 0.0
+    _idle_at: float = 0.0
+    _sequence: int = 0
+    _order: dict[int, int] = field(default_factory=dict)
+    _retransmissions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frame_time <= 0:
+            raise SimulationError("frame_time must be positive")
+        if self.inter_frame_gap < 0:
+            raise SimulationError("inter_frame_gap must be non-negative")
+        if not 0.0 <= self.error_rate < 1.0:
+            raise SimulationError("error_rate must be in [0, 1)")
+        import random as _random
+
+        self._error_rng = _random.Random(self.error_seed)
+
+    # ------------------------------------------------------------------
+    # Event-loop interface
+    # ------------------------------------------------------------------
+
+    def enqueue(self, now: float, frame: Frame) -> None:
+        """A node requests transmission of *frame* at time *now*."""
+        self._order[id(frame)] = self._sequence
+        self._sequence += 1
+        self._queue.append(frame)
+        self._try_start(now)
+
+    def _try_start(self, now: float) -> None:
+        if self._current is not None or not self._queue:
+            return
+        start = max(now, self._idle_at)
+        # Arbitration happens at the moment the bus is free: among frames
+        # already enqueued by then, the lowest identifier wins; ties break
+        # by enqueue order (a real bus cannot tie, identifiers are unique,
+        # but generated workloads may reuse priorities).
+        eligible = [f for f in self._queue if f.enqueued_at <= start + TIME_EPSILON]
+        if not eligible:
+            return
+        winner = min(
+            eligible, key=lambda f: (f.priority, self._order[id(f)])
+        )
+        self._queue.remove(winner)
+        self._current = winner
+        self._rise = start
+
+    def next_completion_time(self) -> float | None:
+        """Absolute fall time of the ongoing transmission, or the start of
+        the next one when frames are waiting for the bus to free up."""
+        if self._current is not None:
+            return self._rise + self.frame_time
+        if self._queue:
+            earliest = min(f.enqueued_at for f in self._queue)
+            return max(earliest, self._idle_at)
+        return None
+
+    def advance(self, now: float) -> Transmission | None:
+        """Process the bus up to *now*; return a completed transmission.
+
+        Returns None when *now* is an arbitration point rather than a
+        completion (a new transmission simply starts).
+        """
+        if self._current is not None:
+            fall = self._rise + self.frame_time
+            if now >= fall - TIME_EPSILON:
+                frame = self._current
+                rise = self._rise
+                self._current = None
+                self._idle_at = fall + self.inter_frame_gap
+                if self.error_rate > 0 and self._error_rng.random() < self.error_rate:
+                    # Corrupted on the wire: consume the bus time, requeue
+                    # the frame for retransmission, deliver nothing.
+                    self._retransmissions += 1
+                    retry = Frame(
+                        sender=frame.sender,
+                        receiver=frame.receiver,
+                        priority=frame.priority,
+                        enqueued_at=self._idle_at,
+                    )
+                    self._order[id(retry)] = self._sequence
+                    self._sequence += 1
+                    self._queue.append(retry)
+                    self._try_start(self._idle_at)
+                    return None
+                self._try_start(fall + self.inter_frame_gap)
+                return Transmission(frame, rise, fall)
+            return None
+        self._try_start(now)
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None or bool(self._queue)
+
+    @property
+    def transmitting(self) -> Frame | None:
+        return self._current
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def retransmission_count(self) -> int:
+        """Corrupted frames retransmitted so far."""
+        return self._retransmissions
+
+    def reset(self, now: float) -> None:
+        """Forget all state at a period boundary."""
+        if self.busy:
+            raise SimulationError(
+                f"bus reset at {now} with pending frames "
+                f"(transmitting={self._current}, queued={len(self._queue)})"
+            )
+        self._idle_at = now

@@ -1,0 +1,169 @@
+"""Fixed-priority preemptive processor model (OSEK BCC1-like).
+
+Each ECU runs at most one task at a time. Higher ``priority`` numbers win;
+a newly released higher-priority task preempts the running one, which
+resumes later from where it stopped. Equal priorities are served in
+release order (FIFO), matching OSEK's activation queueing.
+
+The model is a passive state machine driven by the simulator's event loop:
+the loop calls :meth:`release` when a task becomes ready, asks
+:meth:`next_completion_time` when picking the next event, and calls
+:meth:`complete_current` when that event fires. Dispatch records (first
+start of each instance) accumulate in :attr:`dispatch_log` for the bus
+logger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.timebase import TIME_EPSILON
+
+
+@dataclass
+class _Job:
+    """One released task instance."""
+
+    task: str
+    priority: int
+    remaining: float
+    release_time: float
+    sequence: int
+    started_at: float | None = None
+
+
+@dataclass
+class Ecu:
+    """One processor with a fixed-priority scheduler.
+
+    ``preemptive=True`` (default) models OSEK full-preemptive tasks; with
+    ``preemptive=False`` the running task always completes before the next
+    dispatch (OSEK non-preemptive / cooperative scheduling), so a
+    low-priority task can block a later high-priority release — classic
+    priority inversion, observable in the traces.
+    """
+
+    name: str
+    preemptive: bool = True
+    _now: float = 0.0
+    _running: _Job | None = None
+    _ready: list[_Job] = field(default_factory=list)
+    _sequence: int = 0
+    #: ``(task, start_time)`` records of first dispatches, drained by the
+    #: simulator after each event.
+    dispatch_log: list[tuple[str, float]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Time bookkeeping
+    # ------------------------------------------------------------------
+
+    def _accrue(self, now: float) -> None:
+        """Advance internal time, burning CPU on the running job."""
+        if now < self._now - TIME_EPSILON:
+            raise SimulationError(
+                f"ECU {self.name}: time moved backwards "
+                f"({self._now} -> {now})"
+            )
+        if self._running is not None:
+            self._running.remaining -= max(0.0, now - self._now)
+            if self._running.remaining < -TIME_EPSILON:
+                raise SimulationError(
+                    f"ECU {self.name}: task {self._running.task} ran past "
+                    "its completion; event processed late"
+                )
+        self._now = max(self._now, now)
+
+    def _dispatch(self) -> None:
+        """Put the highest-priority ready job on the CPU if it beats the
+        running one."""
+        if not self._ready:
+            return
+        # Highest priority first; FIFO among equals.
+        self._ready.sort(key=lambda job: (-job.priority, job.sequence))
+        best = self._ready[0]
+        if self._running is None:
+            self._ready.pop(0)
+            self._start(best)
+        elif self.preemptive and best.priority > self._running.priority:
+            preempted = self._running
+            self._ready.pop(0)
+            self._ready.append(preempted)
+            self._start(best)
+
+    def _start(self, job: _Job) -> None:
+        if job.started_at is None:
+            job.started_at = self._now
+            self.dispatch_log.append((job.task, self._now))
+        self._running = job
+
+    # ------------------------------------------------------------------
+    # Event-loop interface
+    # ------------------------------------------------------------------
+
+    def release(self, now: float, task: str, priority: int, exec_time: float) -> None:
+        """A task instance becomes ready at *now*."""
+        if exec_time <= 0:
+            raise SimulationError(
+                f"ECU {self.name}: task {task} released with non-positive "
+                f"execution time {exec_time}"
+            )
+        self._accrue(now)
+        self._ready.append(
+            _Job(task, priority, exec_time, now, self._sequence)
+        )
+        self._sequence += 1
+        self._dispatch()
+
+    def next_completion_time(self) -> float | None:
+        """Absolute time the running job finishes, or None when idle."""
+        if self._running is None:
+            return None
+        return self._now + self._running.remaining
+
+    def complete_current(self, now: float) -> str:
+        """Finish the running job (the event loop reached its end time)."""
+        if self._running is None:
+            raise SimulationError(f"ECU {self.name}: completion while idle")
+        self._accrue(now)
+        if self._running.remaining > TIME_EPSILON:
+            raise SimulationError(
+                f"ECU {self.name}: task {self._running.task} completed with "
+                f"{self._running.remaining} time remaining"
+            )
+        finished = self._running.task
+        self._running = None
+        self._dispatch()
+        return finished
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._running is not None or bool(self._ready)
+
+    @property
+    def running_task(self) -> str | None:
+        return self._running.task if self._running is not None else None
+
+    def pending_tasks(self) -> tuple[str, ...]:
+        """Ready (not running) task names, highest priority first."""
+        ordered = sorted(self._ready, key=lambda job: (-job.priority, job.sequence))
+        return tuple(job.task for job in ordered)
+
+    def drain_dispatches(self) -> list[tuple[str, float]]:
+        """Return and clear accumulated first-dispatch records."""
+        drained = self.dispatch_log
+        self.dispatch_log = []
+        return drained
+
+    def reset(self, now: float) -> None:
+        """Forget all state at a period boundary."""
+        if self.busy:
+            raise SimulationError(
+                f"ECU {self.name}: reset at {now} while work is pending "
+                f"(running={self.running_task}, ready={self.pending_tasks()})"
+            )
+        self._now = now

@@ -1,0 +1,101 @@
+"""Period executive: branch decisions and data-driven firing bookkeeping.
+
+At each period start the executive resolves every disjunction node's
+branch decision for that period (seeded RNG), yielding the period's
+*routing plan*: exactly which message edges will fire if their sender
+runs. From the plan it derives each task's expected input count, which the
+simulator uses for the data-driven firing rule — a task is released when
+all messages that will arrive this period have arrived (conjunction
+semantics), and a task expecting no input never runs.
+
+The plan is computed with oracle knowledge of the design; the *trace*
+never exposes it. This mirrors reality: the black box knows its own
+routing, the bus logger does not.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.systems.model import BranchMode, MessageEdge, SystemDesign
+
+
+@dataclass(frozen=True)
+class PeriodPlan:
+    """Resolved routing for one period."""
+
+    period_index: int
+    #: Edges that fire this period if their sender executes.
+    fired_edges: frozenset[MessageEdge]
+    #: Tasks that will execute this period.
+    executing: frozenset[str]
+    #: Expected message count per executing, non-source task.
+    expected_inputs: dict[str, int]
+
+    def out_edges_of(self, task: str) -> tuple[MessageEdge, ...]:
+        """The fired out-edges of *task*, by frame priority."""
+        edges = [e for e in self.fired_edges if e.sender == task]
+        edges.sort(key=lambda e: (e.frame_priority, e.receiver))
+        return tuple(edges)
+
+
+class Executive:
+    """Draws period plans for a design with a dedicated RNG stream."""
+
+    def __init__(self, design: SystemDesign, seed: int = 0):
+        self.design = design
+        self._rng = random.Random(seed)
+
+    def plan_period(self, period_index: int) -> PeriodPlan:
+        """Resolve branch decisions and compute the routing plan."""
+        design = self.design
+        fired: set[MessageEdge] = set()
+        executing: set[str] = set()
+        for task in design.topological_order():
+            spec = design.task(task)
+            if spec.is_source:
+                runs = (
+                    spec.activation_probability >= 1.0
+                    or self._rng.random() < spec.activation_probability
+                )
+            else:
+                runs = any(edge.receiver == task for edge in fired)
+            if not runs:
+                continue
+            executing.add(task)
+            fired.update(design.unconditional_out_edges(task))
+            fired.update(self._choose_branches(task))
+        expected: dict[str, int] = {}
+        for edge in fired:
+            expected[edge.receiver] = expected.get(edge.receiver, 0) + 1
+        for task in executing:
+            if not design.task(task).is_source and expected.get(task, 0) == 0:
+                raise SimulationError(
+                    f"task {task} marked executing without inputs"
+                )
+        return PeriodPlan(
+            period_index=period_index,
+            fired_edges=frozenset(fired),
+            executing=frozenset(executing),
+            expected_inputs=expected,
+        )
+
+    def _choose_branches(self, task: str) -> tuple[MessageEdge, ...]:
+        conditional = self.design.conditional_out_edges(task)
+        if not conditional:
+            return ()
+        mode = self.design.task(task).branch_mode
+        if mode is BranchMode.EXACTLY_ONE:
+            return (self._rng.choice(conditional),)
+        if mode is BranchMode.AT_LEAST_ONE:
+            chosen = [
+                edge for edge in conditional if self._rng.random() < 0.5
+            ]
+            if not chosen:
+                chosen = [self._rng.choice(conditional)]
+            return tuple(chosen)
+        raise SimulationError(
+            f"task {task} has conditional edges but branch mode {mode}"
+        )

@@ -1,0 +1,100 @@
+"""The black-box bus logger: what the learner is allowed to see.
+
+The logging device (paper Section 2.1) is attached to the shared bus. It
+records task start/end events and message rising/falling edges with
+timestamps — but *not* message senders or receivers, nor message meaning.
+This module performs that information stripping: the simulator hands it
+ground-truth :class:`~repro.sim.can.Transmission` records, and it emits
+anonymous, per-period-labelled message events.
+
+An optional clock resolution quantizes timestamps the way a real logger's
+finite clock would, and :attr:`BusLogger.ground_truth` retains the
+sender/receiver mapping for *evaluation only* (learned-vs-truth
+comparison); the produced :class:`~repro.trace.trace.Trace` never contains
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.can import Transmission
+from repro.sim.timebase import quantize
+from repro.trace.events import Event, msg_fall, msg_rise, task_end, task_start
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class GroundTruthMessage:
+    """Evaluation-only record tying a trace label to its real endpoints."""
+
+    period_index: int
+    label: str
+    sender: str
+    receiver: str
+    rise: float
+    fall: float
+
+
+@dataclass
+class BusLogger:
+    """Accumulates events period by period and assembles the trace."""
+
+    tasks: tuple[str, ...]
+    resolution: float = 0.0
+    _current_events: list[Event] = field(default_factory=list)
+    _periods: list[Period] = field(default_factory=list)
+    _message_counter: int = 0
+    #: Ground truth for evaluation; not part of the emitted trace.
+    ground_truth: list[GroundTruthMessage] = field(default_factory=list)
+
+    def begin_period(self) -> None:
+        """Start collecting a new period."""
+        if self._current_events:
+            raise ValueError("previous period not closed; call end_period()")
+        self._message_counter = 0
+
+    def log_task_start(self, time: float, task: str) -> None:
+        self._current_events.append(
+            task_start(quantize(time, self.resolution), task)
+        )
+
+    def log_task_end(self, time: float, task: str) -> None:
+        self._current_events.append(
+            task_end(quantize(time, self.resolution), task)
+        )
+
+    def log_transmission(self, transmission: Transmission) -> None:
+        """Record a completed frame as anonymous rise/fall events."""
+        self._message_counter += 1
+        label = f"m{self._message_counter}"
+        rise = quantize(transmission.rise, self.resolution)
+        fall = quantize(transmission.fall, self.resolution)
+        self._current_events.append(msg_rise(rise, label))
+        self._current_events.append(msg_fall(fall, label))
+        self.ground_truth.append(
+            GroundTruthMessage(
+                period_index=len(self._periods),
+                label=label,
+                sender=transmission.frame.sender,
+                receiver=transmission.frame.receiver,
+                rise=rise,
+                fall=fall,
+            )
+        )
+
+    def end_period(self) -> None:
+        """Close the current period and validate its structure."""
+        self._periods.append(
+            Period(self._current_events, index=len(self._periods))
+        )
+        self._current_events = []
+
+    def trace(self) -> Trace:
+        """The assembled black-box trace."""
+        return Trace(self.tasks, self._periods)
+
+    def true_pairs(self) -> frozenset[tuple[str, str]]:
+        """All ground-truth (sender, receiver) pairs observed on the bus."""
+        return frozenset((g.sender, g.receiver) for g in self.ground_truth)

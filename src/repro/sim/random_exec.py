@@ -1,0 +1,59 @@
+"""Execution-time models: where run-to-run timing variation comes from.
+
+The paper motivates learning from traces precisely because the OSEK
+scheduler and the CAN bus inject nondeterminism the specifications do not
+capture. In this simulator the nondeterminism enters through (a) branch
+decisions, (b) per-instance execution times drawn from these models, and
+(c) bus arbitration among simultaneously queued frames.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.systems.model import TaskSpec
+
+
+class ExecutionTimeModel(Protocol):
+    """Draws the execution time of one task instance."""
+
+    def draw(self, task: TaskSpec, period_index: int) -> float:
+        """Execution time for *task* in period *period_index*."""
+        ...
+
+
+class UniformExecutionModel:
+    """Uniform draw from ``[bcet, wcet]`` using a dedicated seeded stream."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def draw(self, task: TaskSpec, period_index: int) -> float:
+        if task.bcet == task.wcet:
+            return task.wcet
+        return self._rng.uniform(task.bcet, task.wcet)
+
+
+class WorstCaseExecutionModel:
+    """Every instance takes its WCET: fully deterministic timing."""
+
+    def draw(self, task: TaskSpec, period_index: int) -> float:
+        return task.wcet
+
+
+class BestCaseExecutionModel:
+    """Every instance takes its BCET."""
+
+    def draw(self, task: TaskSpec, period_index: int) -> float:
+        return task.bcet
+
+
+class AlternatingExecutionModel:
+    """Alternates BCET/WCET by period parity — a deterministic wiggle.
+
+    Useful in tests that need timing variation without randomness.
+    """
+
+    def draw(self, task: TaskSpec, period_index: int) -> float:
+        return task.bcet if period_index % 2 == 0 else task.wcet

@@ -1,0 +1,249 @@
+"""Discrete-event simulator for periodic distributed designs.
+
+Each period: the executive resolves branch decisions; source tasks are
+released on their ECUs at the period start; when a task completes it
+enqueues its fired out-edges as CAN frames; when a frame's transmission
+completes, the receiver counts the arrival and is released once all
+expected inputs for the period have arrived (data-driven conjunction
+firing). The period must drain before its boundary — a message crossing
+the boundary violates the paper's MOC and raises
+:class:`~repro.errors.SimulationError`.
+
+The simulator produces two artifacts:
+
+* a black-box :class:`~repro.trace.trace.Trace` via the
+  :class:`~repro.sim.logger.BusLogger` (what the learner sees), and
+* the logger's ground-truth message records plus the per-period
+  :class:`~repro.sim.executive.PeriodPlan` list (for evaluation only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.can import CanBus, Frame
+from repro.sim.ecu import Ecu
+from repro.sim.executive import Executive, PeriodPlan
+from repro.sim.logger import BusLogger
+from repro.sim.random_exec import ExecutionTimeModel, UniformExecutionModel
+from repro.sim.timebase import TIME_EPSILON
+from repro.systems.model import SystemDesign
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Simulation parameters.
+
+    ``period_length`` must comfortably exceed the busiest period's makespan
+    (task times + bus times); the simulator fails loudly otherwise rather
+    than silently violating the no-boundary-crossing assumption.
+    """
+
+    period_length: float = 100.0
+    frame_time: float = 0.5
+    inter_frame_gap: float = 0.05
+    logger_resolution: float = 0.0
+    #: Release jitter applied to source tasks at the period start, drawn
+    #: uniformly from [0, source_jitter].
+    source_jitter: float = 0.0
+    #: Probability that a frame is corrupted and retransmitted (CAN error
+    #: model); 0 disables it.
+    bus_error_rate: float = 0.0
+    #: ECUs scheduled non-preemptively (OSEK non-preemptive tasks); all
+    #: others are fully preemptive.
+    nonpreemptive_ecus: frozenset[str] = frozenset()
+
+
+@dataclass
+class SimulationRun:
+    """Everything one simulation produced."""
+
+    trace: Trace
+    logger: BusLogger
+    plans: list[PeriodPlan] = field(default_factory=list)
+
+    @property
+    def message_count(self) -> int:
+        return self.trace.message_count()
+
+
+class Simulator:
+    """Simulates a design for a number of periods."""
+
+    def __init__(
+        self,
+        design: SystemDesign,
+        config: SimulatorConfig = SimulatorConfig(),
+        seed: int = 0,
+        exec_model: ExecutionTimeModel | None = None,
+    ):
+        self.design = design
+        self.config = config
+        self.executive = Executive(design, seed=seed)
+        self.exec_model = (
+            exec_model if exec_model is not None else UniformExecutionModel(seed + 1)
+        )
+        import random as _random
+
+        self._jitter_rng = _random.Random(seed + 2)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, period_count: int) -> SimulationRun:
+        """Simulate *period_count* periods and return the artifacts."""
+        if period_count < 1:
+            raise ValueError("period_count must be >= 1")
+        logger = BusLogger(
+            tasks=self.design.task_names,
+            resolution=self.config.logger_resolution,
+        )
+        ecus = {
+            name: Ecu(
+                name,
+                preemptive=name not in self.config.nonpreemptive_ecus,
+            )
+            for name in self.design.ecus()
+        }
+        buses = {
+            name: CanBus(
+                frame_time=self.config.frame_time,
+                inter_frame_gap=self.config.inter_frame_gap,
+                error_rate=self.config.bus_error_rate,
+                error_seed=hash((name, self.config.bus_error_rate)) & 0xFFFF,
+            )
+            for name in self.design.buses()
+        }
+        plans: list[PeriodPlan] = []
+        for period_index in range(period_count):
+            plan = self.executive.plan_period(period_index)
+            plans.append(plan)
+            self._run_period(period_index, plan, ecus, buses, logger)
+        return SimulationRun(trace=logger.trace(), logger=logger, plans=plans)
+
+    # ------------------------------------------------------------------
+    # One period
+    # ------------------------------------------------------------------
+
+    def _run_period(
+        self,
+        period_index: int,
+        plan: PeriodPlan,
+        ecus: dict[str, Ecu],
+        buses: dict[str, CanBus],
+        logger: BusLogger,
+    ) -> None:
+        base = period_index * self.config.period_length
+        boundary = base + self.config.period_length
+        logger.begin_period()
+        for ecu in ecus.values():
+            ecu.reset(base)
+        for bus in buses.values():
+            bus.reset(base)
+        arrived: dict[str, int] = {}
+
+        def release(task_name: str, now: float) -> None:
+            spec = self.design.task(task_name)
+            ecus[spec.ecu].release(
+                now,
+                task_name,
+                spec.priority,
+                self.exec_model.draw(spec, period_index),
+            )
+
+        # Offset (or jittered) source activations become timed events so a
+        # later release can never rewind an ECU that is already running.
+        pending_releases: list[tuple[float, str]] = []
+        for spec in self.design.sources():
+            if spec.name not in plan.executing:
+                continue
+            jitter = (
+                self._jitter_rng.uniform(0.0, self.config.source_jitter)
+                if self.config.source_jitter > 0
+                else 0.0
+            )
+            pending_releases.append((base + spec.offset + jitter, spec.name))
+        pending_releases.sort()
+
+        # Event loop: next event is the earliest source release, ECU
+        # completion, or bus event.
+        while True:
+            times: list[tuple[float, str, str]] = []
+            if pending_releases:
+                release_time, task_name = pending_releases[0]
+                times.append((release_time, "release", task_name))
+            for name, ecu in ecus.items():
+                completion = ecu.next_completion_time()
+                if completion is not None:
+                    times.append((completion, "ecu", name))
+            for name, bus in buses.items():
+                bus_event = bus.next_completion_time()
+                if bus_event is not None:
+                    times.append((bus_event, "bus", name))
+            if not times:
+                break
+            times.sort(key=lambda item: (item[0], item[1], item[2]))
+            now, kind, name = times[0]
+            if now > boundary + TIME_EPSILON:
+                raise SimulationError(
+                    f"period {period_index} work extends to {now}, past the "
+                    f"boundary {boundary}; increase period_length"
+                )
+            if kind == "release":
+                pending_releases.pop(0)
+                release(name, now)
+            elif kind == "ecu":
+                finished = ecus[name].complete_current(now)
+                logger.log_task_end(now, finished)
+                for edge in plan.out_edges_of(finished):
+                    buses[edge.bus].enqueue(
+                        now,
+                        Frame(
+                            sender=edge.sender,
+                            receiver=edge.receiver,
+                            priority=edge.frame_priority,
+                            enqueued_at=now,
+                        ),
+                    )
+            else:
+                transmission = buses[name].advance(now)
+                if transmission is not None:
+                    logger.log_transmission(transmission)
+                    receiver = transmission.frame.receiver
+                    arrived[receiver] = arrived.get(receiver, 0) + 1
+                    if arrived[receiver] == plan.expected_inputs.get(receiver, -1):
+                        release(receiver, transmission.fall)
+            # Drain first-dispatch records into the trace log.
+            for ecu in ecus.values():
+                for task_name, start_time in ecu.drain_dispatches():
+                    logger.log_task_start(start_time, task_name)
+
+        # Every planned task must have executed.
+        missing = [
+            task
+            for task in plan.executing
+            if task not in arrived
+            and not self.design.task(task).is_source
+            and plan.expected_inputs.get(task, 0) > 0
+            and arrived.get(task, 0) < plan.expected_inputs[task]
+        ]
+        if missing:
+            raise SimulationError(
+                f"period {period_index}: tasks never received all inputs: "
+                f"{sorted(missing)}"
+            )
+        logger.end_period()
+
+
+def simulate_trace(
+    design: SystemDesign,
+    period_count: int,
+    config: SimulatorConfig = SimulatorConfig(),
+    seed: int = 0,
+    exec_model: ExecutionTimeModel | None = None,
+) -> Trace:
+    """Convenience wrapper returning only the black-box trace."""
+    return Simulator(design, config, seed, exec_model).run(period_count).trace

@@ -1,0 +1,31 @@
+"""Small time utilities shared by the simulator and the logging device."""
+
+from __future__ import annotations
+
+import math
+
+#: Times within this distance are treated as simultaneous by the simulator
+#: when ordering events deterministically.
+TIME_EPSILON = 1e-9
+
+
+def quantize(time: float, resolution: float) -> float:
+    """Round *time* down to the logging device's clock resolution.
+
+    A resolution of 0 disables quantization. Real bus loggers timestamp
+    with a finite clock (e.g. 10 µs ticks); rounding *down* preserves the
+    happened-before order of non-simultaneous events as long as they are
+    at least one tick apart.
+    """
+    if resolution <= 0:
+        return time
+    # The small epsilon keeps exact ticks (1.2 / 0.1 -> 11.999...) from
+    # being floored into the previous tick; the final rounding strips the
+    # float noise from the multiplication.
+    ticks = math.floor(time / resolution + 1e-9)
+    return round(ticks * resolution, 12)
+
+
+def approximately(a: float, b: float, epsilon: float = TIME_EPSILON) -> bool:
+    """True if two timestamps are within *epsilon* of each other."""
+    return abs(a - b) <= epsilon

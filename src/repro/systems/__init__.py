@@ -1,0 +1,71 @@
+"""System design models: tasks, message edges, behaviors, reference designs."""
+
+from repro.systems.builder import DesignBuilder
+from repro.systems.examples import (
+    diamond_design,
+    multi_rate_design,
+    pipeline_design,
+    simple_four_task_design,
+)
+from repro.systems.gateway import gateway_config, gateway_design
+from repro.systems.gm import (
+    PAPER_MESSAGE_COUNT,
+    PAPER_PERIOD_COUNT,
+    PUBLISHED_PROPERTIES,
+    gm_case_study_design,
+)
+from repro.systems.model import BranchMode, MessageEdge, SystemDesign, TaskSpec
+from repro.systems.random_gen import (
+    RandomDesignConfig,
+    TOPOLOGY_PROFILES,
+    profiled_design,
+    random_design,
+)
+from repro.systems.specio import (
+    design_from_dict,
+    design_to_dict,
+    dump_design,
+    dumps_design,
+    load_design,
+    loads_design,
+)
+from repro.systems.semantics import (
+    Behavior,
+    enumerate_behaviors,
+    execution_probability,
+    ground_truth_dependencies,
+    influence_closure,
+)
+
+__all__ = [
+    "BranchMode",
+    "TaskSpec",
+    "MessageEdge",
+    "SystemDesign",
+    "DesignBuilder",
+    "simple_four_task_design",
+    "pipeline_design",
+    "diamond_design",
+    "multi_rate_design",
+    "gm_case_study_design",
+    "PUBLISHED_PROPERTIES",
+    "PAPER_PERIOD_COUNT",
+    "PAPER_MESSAGE_COUNT",
+    "Behavior",
+    "enumerate_behaviors",
+    "ground_truth_dependencies",
+    "influence_closure",
+    "execution_probability",
+    "RandomDesignConfig",
+    "random_design",
+    "TOPOLOGY_PROFILES",
+    "profiled_design",
+    "design_to_dict",
+    "design_from_dict",
+    "dump_design",
+    "dumps_design",
+    "load_design",
+    "loads_design",
+    "gateway_design",
+    "gateway_config",
+]

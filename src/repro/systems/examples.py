@@ -1,0 +1,78 @@
+"""Reference designs used throughout the tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from repro.systems.builder import DesignBuilder
+from repro.systems.model import BranchMode, SystemDesign
+
+
+def simple_four_task_design() -> SystemDesign:
+    """The paper's Figure 1 model.
+
+    ``t1`` is a disjunction node sending to ``t2`` or ``t3`` or both each
+    period; ``t2`` and ``t3`` independently forward to the conjunction node
+    ``t4``. Tasks are spread over three ECUs so that ``t2`` and ``t3`` can
+    overlap in time, as required to reproduce the Figure 2 trace.
+    """
+    return (
+        DesignBuilder()
+        .source("t1", ecu="ecu0", priority=2, wcet=2.0)
+        .task("t2", ecu="ecu1", priority=1, wcet=2.0)
+        .task("t3", ecu="ecu2", priority=1, wcet=2.0)
+        .task("t4", ecu="ecu0", priority=1, wcet=2.0)
+        .branch("t1", ["t2", "t3"], mode=BranchMode.AT_LEAST_ONE)
+        .message("t2", "t4")
+        .message("t3", "t4")
+        .build()
+    )
+
+
+def pipeline_design(stage_count: int = 5) -> SystemDesign:
+    """A deterministic single-ECU pipeline ``s0 -> s1 -> ... -> s(n-1)``."""
+    if stage_count < 2:
+        raise ValueError("pipeline needs at least two stages")
+    builder = DesignBuilder()
+    builder.source("s0", ecu="ecu0", priority=stage_count, wcet=1.0)
+    for i in range(1, stage_count):
+        builder.task(f"s{i}", ecu="ecu0", priority=stage_count - i, wcet=1.0)
+    for i in range(stage_count - 1):
+        builder.message(f"s{i}", f"s{i + 1}")
+    return builder.build()
+
+
+def diamond_design() -> SystemDesign:
+    """A fork-join diamond with an exclusive mode choice.
+
+    ``src`` picks exactly one of ``left``/``right``; both feed ``join``.
+    The ground truth therefore contains the Figure 4 phenomenon:
+    ``d(src, join) = →`` even though each branch is conditional.
+    """
+    return (
+        DesignBuilder()
+        .source("src", ecu="ecu0", priority=3, wcet=1.0)
+        .task("left", ecu="ecu1", priority=2, wcet=1.5)
+        .task("right", ecu="ecu2", priority=2, wcet=1.5)
+        .task("join", ecu="ecu0", priority=1, wcet=1.0)
+        .branch("src", ["left", "right"], mode=BranchMode.EXACTLY_ONE)
+        .message("left", "join")
+        .message("right", "join")
+        .build()
+    )
+
+
+def multi_rate_design() -> SystemDesign:
+    """Two independent chains sharing one bus (no cross dependencies).
+
+    Useful for checking that the learner does *not* invent dependencies
+    between provably parallel subsystems given enough periods.
+    """
+    return (
+        DesignBuilder()
+        .source("a0", ecu="ecu0", priority=2, wcet=1.0)
+        .task("a1", ecu="ecu0", priority=1, wcet=1.0)
+        .source("b0", ecu="ecu1", priority=2, wcet=1.2)
+        .task("b1", ecu="ecu1", priority=1, wcet=1.1)
+        .message("a0", "a1")
+        .message("b0", "b1")
+        .build()
+    )

@@ -1,0 +1,102 @@
+"""A second case study: a gatewayed two-bus body/chassis architecture.
+
+Where the GM case study mirrors the paper's single-bus controller, this
+design exercises the simulator extensions a modern vehicle architecture
+needs — and gives the learner a harder, more heterogeneous target:
+
+* **two CAN buses** (``can_body``, ``can_chassis``) bridged by a gateway
+  ECU, so messages can overlap in time across buses;
+* **sporadic sources** (door/cabin sensors that do not fire every
+  period) and a **phase-offset** periodic sensor;
+* a **non-preemptive gateway ECU** is the recommended configuration
+  (:func:`gateway_config`), exhibiting priority inversion on the routing
+  task;
+* a small **bus error rate**, adding retransmission jitter.
+
+18 tasks across 4 ECUs:
+
+* body domain (``ecu_body``): SENS1 (sporadic), SENS2 (offset), FLT1,
+  FLT2, AGG; cabin (``ecu_cab``): CAB (sporadic), CABP, DISP;
+* gateway (``ecu_gw``): TIMER (infrastructure), GWIN, GWOUT, MON;
+* chassis (``ecu_chassis``): WHEEL, SPEED, ARB (mode choice), BRAKE,
+  COAST, LOG (conjunction).
+"""
+
+from __future__ import annotations
+
+from repro.systems.builder import DesignBuilder
+from repro.systems.model import BranchMode, SystemDesign
+
+BODY_BUS = "can_body"
+CHASSIS_BUS = "can_chassis"
+
+
+def gateway_config():
+    """Recommended :class:`~repro.sim.simulator.SimulatorConfig`.
+
+    Built lazily (the ``repro.sim`` package depends on ``repro.systems``,
+    so a module-level config here would be a circular import).
+    """
+    from repro.sim.simulator import SimulatorConfig
+
+    return SimulatorConfig(
+        period_length=120.0,
+        frame_time=0.4,
+        inter_frame_gap=0.05,
+        bus_error_rate=0.02,
+        nonpreemptive_ecus=frozenset({"ecu_gw"}),
+    )
+
+
+def gateway_design() -> SystemDesign:
+    """Build the 18-task gatewayed two-bus design."""
+    builder = DesignBuilder()
+    # --- body domain -----------------------------------------------------
+    builder.source("SENS1", ecu="ecu_body", priority=9, bcet=0.8, wcet=1.2,
+                   activation_probability=0.7)
+    builder.source("SENS2", ecu="ecu_body", priority=8, bcet=0.9, wcet=1.3,
+                   offset=2.0)
+    builder.task("FLT1", ecu="ecu_body", priority=7, bcet=1.0, wcet=1.5)
+    builder.task("FLT2", ecu="ecu_body", priority=6, bcet=1.0, wcet=1.5)
+    builder.task("AGG", ecu="ecu_body", priority=5, bcet=1.2, wcet=1.8)
+    # --- cabin -----------------------------------------------------------
+    builder.source("CAB", ecu="ecu_cab", priority=9, bcet=0.7, wcet=1.0,
+                   activation_probability=0.5)
+    builder.task("CABP", ecu="ecu_cab", priority=7, bcet=1.0, wcet=1.4)
+    builder.task("DISP", ecu="ecu_cab", priority=5, bcet=0.8, wcet=1.2)
+    # --- gateway ----------------------------------------------------------
+    builder.source("TIMER", ecu="ecu_gw", priority=9, bcet=0.5, wcet=0.7)
+    builder.task("GWIN", ecu="ecu_gw", priority=7, bcet=0.8, wcet=1.2)
+    builder.task("GWOUT", ecu="ecu_gw", priority=5, bcet=0.8, wcet=1.2)
+    builder.task("MON", ecu="ecu_gw", priority=3, bcet=0.6, wcet=0.9)
+    # --- chassis ----------------------------------------------------------
+    builder.source("WHEEL", ecu="ecu_chassis", priority=9, bcet=0.9, wcet=1.3)
+    builder.task("SPEED", ecu="ecu_chassis", priority=8, bcet=1.0, wcet=1.5)
+    builder.task("ARB", ecu="ecu_chassis", priority=7, bcet=1.1, wcet=1.6)
+    builder.task("BRAKE", ecu="ecu_chassis", priority=6, bcet=1.0, wcet=1.5)
+    builder.task("COAST", ecu="ecu_chassis", priority=5, bcet=1.0, wcet=1.5)
+    builder.task("LOG", ecu="ecu_chassis", priority=2, bcet=0.8, wcet=1.2)
+
+    # --- body traffic ------------------------------------------------------
+    builder.message("SENS1", "FLT1", bus=BODY_BUS)
+    builder.message("SENS2", "FLT2", bus=BODY_BUS)
+    builder.message("FLT1", "AGG", bus=BODY_BUS)
+    builder.message("FLT2", "AGG", bus=BODY_BUS)
+    builder.message("AGG", "GWIN", bus=BODY_BUS)
+    builder.message("CAB", "CABP", bus=BODY_BUS)
+    builder.message("CABP", "DISP", bus=BODY_BUS)
+    # --- gateway routing and housekeeping -----------------------------------
+    builder.message("GWIN", "GWOUT", bus=BODY_BUS)
+    builder.message("TIMER", "MON", bus=BODY_BUS)
+    builder.message("GWOUT", "ARB", bus=CHASSIS_BUS)
+    # --- chassis traffic -----------------------------------------------------
+    builder.message("WHEEL", "SPEED", bus=CHASSIS_BUS)
+    builder.message("SPEED", "ARB", bus=CHASSIS_BUS)
+    builder.branch(
+        "ARB", ["BRAKE", "COAST"], mode=BranchMode.EXACTLY_ONE,
+        bus=CHASSIS_BUS,
+    )
+    builder.message("BRAKE", "LOG", bus=CHASSIS_BUS)
+    builder.message("COAST", "LOG", bus=CHASSIS_BUS)
+    builder.message("SPEED", "LOG", bus=CHASSIS_BUS)
+    return builder.build()

@@ -1,0 +1,104 @@
+"""The GM-like 18-task case-study design (paper Section 3.4, Figure 5).
+
+The paper's controller is proprietary; this module defines a synthetic
+design with the same published structural properties so the identical
+learner code path can be exercised at the same scale:
+
+* 18 tasks named ``A`` … ``Q`` and ``S``, spread over three ECUs and one
+  shared CAN bus;
+* ``A`` and ``B`` are *disjunction* nodes: ``A`` selects exactly one of
+  the modes ``C``/``D``, ``B`` activates ``G`` and/or ``I``;
+* ``H``, ``P`` and ``Q`` are *conjunction* nodes fed by several senders;
+* no matter which mode ``A`` chooses, ``L`` must execute
+  (``d(A, L) = →``), and no matter which mode ``B`` chooses, ``M`` must
+  execute (``d(B, M) = →``) — both branch alternatives converge;
+* ``O`` is an infrastructure task (think CAN/OSEK housekeeping) that is
+  the highest-priority task on ``Q``'s ECU and whose status frame gates
+  both ``P`` and ``Q``. The learned ``O → Q`` dependency is the paper's
+  implicit data dependency "between the functional tasks and the
+  infrastructure tasks": it proves ``O`` has always completed before ``Q``
+  starts, which the end-to-end latency analysis uses to exclude ``O``'s
+  preemption from ``Q``'s critical path.
+
+The paper's trace had 27 periods with 330 bus messages over 18 tasks; this
+design produces the same period count and task count with a comparable
+message density (15-18 frames per period).
+"""
+
+from __future__ import annotations
+
+from repro.systems.builder import DesignBuilder
+from repro.systems.model import BranchMode, SystemDesign
+
+#: ECU hosting the body-domain functional chain.
+ECU_BODY = "ecu_body"
+#: ECU hosting the chassis-domain functional chain.
+ECU_CHASSIS = "ecu_chassis"
+#: ECU hosting the supervisory/control chain (and infrastructure task O).
+ECU_CONTROL = "ecu_control"
+
+#: Number of periods in the paper's logged trace.
+PAPER_PERIOD_COUNT = 27
+#: Number of bus messages in the paper's logged trace.
+PAPER_MESSAGE_COUNT = 330
+
+
+def gm_case_study_design() -> SystemDesign:
+    """Build the 18-task GM-like controller design."""
+    builder = DesignBuilder()
+    # --- body domain ---------------------------------------------------
+    builder.source("S", ecu=ECU_BODY, priority=10, bcet=1.6, wcet=2.0)
+    builder.task("A", ecu=ECU_BODY, priority=9, bcet=1.2, wcet=1.6)
+    builder.task("C", ecu=ECU_BODY, priority=8, bcet=1.8, wcet=2.4)
+    builder.task("D", ecu=ECU_BODY, priority=7, bcet=1.8, wcet=2.4)
+    builder.task("E", ecu=ECU_BODY, priority=6, bcet=1.0, wcet=1.4)
+    builder.task("F", ecu=ECU_BODY, priority=5, bcet=1.0, wcet=1.4)
+    builder.task("L", ecu=ECU_BODY, priority=4, bcet=1.4, wcet=1.8)
+    builder.task("N", ecu=ECU_BODY, priority=3, bcet=1.2, wcet=1.6)
+    # --- chassis domain -------------------------------------------------
+    builder.source("B", ecu=ECU_CHASSIS, priority=10, bcet=1.4, wcet=1.8)
+    builder.task("G", ecu=ECU_CHASSIS, priority=9, bcet=1.6, wcet=2.2)
+    builder.task("I", ecu=ECU_CHASSIS, priority=8, bcet=1.6, wcet=2.2)
+    builder.task("J", ecu=ECU_CHASSIS, priority=7, bcet=1.0, wcet=1.4)
+    builder.task("K", ecu=ECU_CHASSIS, priority=6, bcet=1.0, wcet=1.4)
+    builder.task("M", ecu=ECU_CHASSIS, priority=5, bcet=1.4, wcet=1.8)
+    # --- control / supervisory domain ------------------------------------
+    builder.source("O", ecu=ECU_CONTROL, priority=10, bcet=1.0, wcet=1.2)
+    builder.task("H", ecu=ECU_CONTROL, priority=9, bcet=1.6, wcet=2.0)
+    builder.task("P", ecu=ECU_CONTROL, priority=8, bcet=1.4, wcet=1.8)
+    builder.task("Q", ecu=ECU_CONTROL, priority=7, bcet=2.2, wcet=3.0)
+    # --- message edges ---------------------------------------------------
+    builder.message("S", "A")
+    builder.branch("A", ["C", "D"], mode=BranchMode.EXACTLY_ONE)
+    builder.message("C", "L")
+    builder.message("C", "E")
+    builder.message("D", "L")
+    builder.message("D", "F")
+    builder.branch("B", ["G", "I"], mode=BranchMode.AT_LEAST_ONE)
+    builder.message("G", "M")
+    builder.message("G", "J")
+    builder.message("I", "M")
+    builder.message("I", "K")
+    builder.message("L", "H")
+    builder.message("L", "N")
+    builder.message("M", "H")
+    builder.message("N", "P")
+    builder.message("O", "P")
+    builder.message("O", "Q")
+    builder.message("H", "Q")
+    builder.message("P", "Q")
+    return builder.build()
+
+
+#: Properties published in the paper's case study, as (kind, payload)
+#: records consumed by tests and the E3 benchmark.
+PUBLISHED_PROPERTIES = (
+    ("disjunction", "A"),
+    ("disjunction", "B"),
+    ("conjunction", "H"),
+    ("conjunction", "P"),
+    ("conjunction", "Q"),
+    ("certain_dependency", ("A", "L")),
+    ("certain_dependency", ("B", "M")),
+    ("implicit_dependency", ("O", "Q")),
+)

@@ -1,0 +1,289 @@
+"""System design models: the ground truth the learner tries to recover.
+
+The paper's model of computation (Section 2.1): a fixed set of tasks
+executes periodically in a data-driven manner. Nodes are tasks; edges are
+messages. A *disjunction* node conditionally sends messages to a chosen
+subset of its successors each period, picking the execution path; a
+*conjunction* node passively waits for the messages other tasks decided to
+send. Tasks fire when all inputs that will arrive this period have
+arrived; a task with no arriving input does not execute (sources always
+execute).
+
+These design models drive the simulator (``repro.sim``) and provide the
+ground truth for learned-vs-design comparisons (``repro.analysis.compare``).
+The learner itself never sees them — it works from bus traces alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ModelError
+
+
+class BranchMode(enum.Enum):
+    """How a task selects among its *conditional* out-edges each period."""
+
+    #: No conditional edges (all out-edges always fire).
+    NONE = "none"
+    #: A non-empty subset of the conditional edges fires (paper's "t2 or
+    #: t3 or both").
+    AT_LEAST_ONE = "at_least_one"
+    #: Exactly one conditional edge fires (mode selection).
+    EXACTLY_ONE = "exactly_one"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A task in the design.
+
+    Attributes
+    ----------
+    name:
+        Unique task name.
+    ecu:
+        Name of the ECU (processor) hosting the task.
+    priority:
+        Fixed scheduling priority on its ECU; *higher number = higher
+        priority* (OSEK convention).
+    bcet / wcet:
+        Best-/worst-case execution time. The simulator draws actual
+        execution times uniformly from ``[bcet, wcet]``.
+    is_source:
+        Sources are released at every period start without waiting for
+        messages; all other tasks are data-driven.
+    branch_mode:
+        Selection rule for the task's conditional out-edges.
+    offset:
+        Release offset from the period start (sources only) — the fixed
+        phase an OSEK alarm table would give the task.
+    activation_probability:
+        Probability that the source activates in a given period (sources
+        only). Below 1.0 models sporadic stimulus tasks: the paper's MOC
+        allows a task to execute at most — not exactly — once per period.
+    """
+
+    name: str
+    ecu: str = "ecu0"
+    priority: int = 0
+    bcet: float = 1.0
+    wcet: float = 1.0
+    is_source: bool = False
+    branch_mode: BranchMode = BranchMode.NONE
+    offset: float = 0.0
+    activation_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("task name must be non-empty")
+        if self.bcet <= 0 or self.wcet < self.bcet:
+            raise ModelError(
+                f"task {self.name}: need 0 < bcet <= wcet, "
+                f"got bcet={self.bcet}, wcet={self.wcet}"
+            )
+        if self.offset < 0:
+            raise ModelError(f"task {self.name}: offset must be >= 0")
+        if not self.is_source and self.offset != 0.0:
+            raise ModelError(
+                f"task {self.name}: offsets apply to source tasks only"
+            )
+        if not 0.0 <= self.activation_probability <= 1.0:
+            raise ModelError(
+                f"task {self.name}: activation probability must be in [0, 1]"
+            )
+        if not self.is_source and self.activation_probability != 1.0:
+            raise ModelError(
+                f"task {self.name}: activation probability applies to "
+                "source tasks only (data-driven tasks follow their inputs)"
+            )
+
+
+@dataclass(frozen=True)
+class MessageEdge:
+    """A message from *sender* to *receiver*.
+
+    Attributes
+    ----------
+    frame_priority:
+        CAN arbitration priority; *lower number wins arbitration* (CAN
+        identifier convention).
+    conditional:
+        Conditional edges participate in the sender's branch selection;
+        unconditional edges fire every period the sender executes.
+    bus:
+        Name of the bus carrying the frame. Designs default to a single
+        shared bus (the paper's setting); assigning edges to different
+        buses models gatewayed multi-bus architectures.
+    """
+
+    sender: str
+    receiver: str
+    frame_priority: int = 0
+    conditional: bool = False
+    bus: str = "can0"
+
+    def __post_init__(self) -> None:
+        if self.sender == self.receiver:
+            raise ModelError(f"self-message on task {self.sender}")
+
+
+class SystemDesign:
+    """An immutable, validated design graph.
+
+    Raises :class:`~repro.errors.ModelError` on dangling edge endpoints,
+    duplicate tasks, duplicate edges, cyclic graphs (a period's dataflow
+    must be acyclic), conditional edges on a ``BranchMode.NONE`` task, or a
+    design without sources.
+    """
+
+    def __init__(self, tasks: Iterable[TaskSpec], edges: Iterable[MessageEdge]):
+        self._tasks: dict[str, TaskSpec] = {}
+        for task in tasks:
+            if task.name in self._tasks:
+                raise ModelError(f"duplicate task name: {task.name}")
+            self._tasks[task.name] = task
+        self._edges: list[MessageEdge] = []
+        seen_pairs: set[tuple[str, str]] = set()
+        for edge in edges:
+            for endpoint in (edge.sender, edge.receiver):
+                if endpoint not in self._tasks:
+                    raise ModelError(f"edge endpoint {endpoint} is not a task")
+            if (edge.sender, edge.receiver) in seen_pairs:
+                # Section 2.1: at most one message per sender-receiver pair
+                # per period — data is grouped into a single frame.
+                raise ModelError(
+                    f"duplicate edge {edge.sender} -> {edge.receiver}; the MOC "
+                    "groups data into one message per pair per period"
+                )
+            seen_pairs.add((edge.sender, edge.receiver))
+            self._edges.append(edge)
+        if not any(task.is_source for task in self._tasks.values()):
+            raise ModelError("design has no source task; nothing can execute")
+        for edge in self._edges:
+            sender = self._tasks[edge.sender]
+            if edge.conditional and sender.branch_mode is BranchMode.NONE:
+                raise ModelError(
+                    f"conditional edge {edge.sender} -> {edge.receiver} on a "
+                    "task with branch_mode NONE"
+                )
+        self._out: dict[str, tuple[MessageEdge, ...]] = {
+            name: tuple(e for e in self._edges if e.sender == name)
+            for name in self._tasks
+        }
+        self._in: dict[str, tuple[MessageEdge, ...]] = {
+            name: tuple(e for e in self._edges if e.receiver == name)
+            for name in self._tasks
+        }
+        self._check_acyclic()
+        self._check_sources_have_no_inputs()
+
+    def _check_acyclic(self) -> None:
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str, stack: list[str]) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(stack[stack.index(name):] + [name])
+                raise ModelError(f"design graph is cyclic: {cycle}")
+            state[name] = 0
+            stack.append(name)
+            for edge in self._out[name]:
+                visit(edge.receiver, stack)
+            stack.pop()
+            state[name] = 1
+
+        for name in self._tasks:
+            visit(name, [])
+
+    def _check_sources_have_no_inputs(self) -> None:
+        for name, task in self._tasks.items():
+            if task.is_source and self._in[name]:
+                raise ModelError(
+                    f"source task {name} has incoming edges; sources fire at "
+                    "period start and would race their inputs"
+                )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def task_names(self) -> tuple[str, ...]:
+        return tuple(self._tasks)
+
+    @property
+    def tasks(self) -> tuple[TaskSpec, ...]:
+        return tuple(self._tasks.values())
+
+    @property
+    def edges(self) -> tuple[MessageEdge, ...]:
+        return tuple(self._edges)
+
+    def task(self, name: str) -> TaskSpec:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise ModelError(f"unknown task: {name}") from None
+
+    def out_edges(self, name: str) -> tuple[MessageEdge, ...]:
+        self.task(name)
+        return self._out[name]
+
+    def in_edges(self, name: str) -> tuple[MessageEdge, ...]:
+        self.task(name)
+        return self._in[name]
+
+    def sources(self) -> tuple[TaskSpec, ...]:
+        return tuple(t for t in self._tasks.values() if t.is_source)
+
+    def ecus(self) -> tuple[str, ...]:
+        return tuple(sorted({t.ecu for t in self._tasks.values()}))
+
+    def buses(self) -> tuple[str, ...]:
+        """Names of all buses used by the design ("can0" when empty)."""
+        names = sorted({e.bus for e in self._edges})
+        return tuple(names) if names else ("can0",)
+
+    def tasks_on(self, ecu: str) -> tuple[TaskSpec, ...]:
+        return tuple(t for t in self._tasks.values() if t.ecu == ecu)
+
+    def conditional_out_edges(self, name: str) -> tuple[MessageEdge, ...]:
+        return tuple(e for e in self._out[name] if e.conditional)
+
+    def unconditional_out_edges(self, name: str) -> tuple[MessageEdge, ...]:
+        return tuple(e for e in self._out[name] if not e.conditional)
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Task names in a dataflow-compatible order (sources first)."""
+        indegree = {name: len(self._in[name]) for name in self._tasks}
+        ready = sorted(name for name, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for edge in self._out[name]:
+                indegree[edge.receiver] -= 1
+                if indegree[edge.receiver] == 0:
+                    # Keep determinism: insert in sorted position.
+                    ready.append(edge.receiver)
+                    ready.sort()
+        return tuple(order)
+
+    def __iter__(self) -> Iterator[TaskSpec]:
+        return iter(self._tasks.values())
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemDesign(tasks={len(self._tasks)}, edges={len(self._edges)}, "
+            f"ecus={len(self.ecus())})"
+        )

@@ -1,0 +1,186 @@
+"""Random layered design generation for scaling studies and fuzz tests.
+
+Designs are generated as layered DAGs: layer 0 holds source tasks, each
+later task receives at least one message from an earlier layer, and a
+configurable fraction of tasks become disjunction nodes over their
+out-edges. Layering guarantees acyclicity by construction; every task is
+reachable from a source so traces exercise the whole graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.systems.builder import DesignBuilder
+from repro.systems.model import BranchMode, MessageEdge, SystemDesign, TaskSpec
+
+
+@dataclass(frozen=True)
+class RandomDesignConfig:
+    """Knobs for :func:`random_design`."""
+
+    task_count: int = 10
+    ecu_count: int = 3
+    layer_count: int = 4
+    extra_edge_probability: float = 0.25
+    disjunction_probability: float = 0.3
+    min_wcet: float = 1.0
+    max_wcet: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.task_count < 2:
+            raise ValueError("need at least two tasks")
+        if self.layer_count < 2:
+            raise ValueError("need at least two layers")
+        if self.ecu_count < 1:
+            raise ValueError("need at least one ECU")
+        if not 0.0 <= self.extra_edge_probability <= 1.0:
+            raise ValueError("extra_edge_probability must be in [0, 1]")
+        if not 0.0 <= self.disjunction_probability <= 1.0:
+            raise ValueError("disjunction_probability must be in [0, 1]")
+
+
+#: Topology profiles for benchmarking sweeps: each maps to a config
+#: factory parameterized by task count.
+TOPOLOGY_PROFILES = {
+    # Long thin chains: little parallelism, deep transitive structure.
+    "chain": lambda n: RandomDesignConfig(
+        task_count=n,
+        ecu_count=2,
+        layer_count=max(2, n - 1),
+        extra_edge_probability=0.05,
+        disjunction_probability=0.0,
+    ),
+    # Wide fan-out from few sources: shallow, highly parallel.
+    "fanout": lambda n: RandomDesignConfig(
+        task_count=n,
+        ecu_count=max(2, n // 3),
+        layer_count=2,
+        extra_edge_probability=0.35,
+        disjunction_probability=0.1,
+    ),
+    # Branch-heavy: many disjunction nodes, rich behavior space.
+    "branchy": lambda n: RandomDesignConfig(
+        task_count=n,
+        ecu_count=3,
+        layer_count=max(3, n // 3),
+        extra_edge_probability=0.25,
+        disjunction_probability=0.7,
+    ),
+    # Balanced default.
+    "mixed": lambda n: RandomDesignConfig(
+        task_count=n,
+        ecu_count=3,
+        layer_count=max(3, n // 3),
+        extra_edge_probability=0.25,
+        disjunction_probability=0.3,
+    ),
+}
+
+
+def profiled_design(profile: str, task_count: int, seed: int = 0) -> SystemDesign:
+    """A random design drawn from one of :data:`TOPOLOGY_PROFILES`."""
+    try:
+        factory = TOPOLOGY_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology profile {profile!r}; "
+            f"choose from {sorted(TOPOLOGY_PROFILES)}"
+        ) from None
+    return random_design(factory(task_count), seed=seed)
+
+
+def random_design(
+    config: RandomDesignConfig = RandomDesignConfig(), seed: int = 0
+) -> SystemDesign:
+    """Generate a random, valid, layered design."""
+    rng = random.Random(seed)
+    layer_count = min(config.layer_count, config.task_count)
+    # Distribute tasks over layers; every layer gets at least one task.
+    layers: list[list[str]] = [[] for _ in range(layer_count)]
+    names = [f"t{i}" for i in range(config.task_count)]
+    for i, name in enumerate(names):
+        if i < layer_count:
+            layers[i].append(name)
+        else:
+            layers[rng.randrange(layer_count)].append(name)
+
+    task_specs: list[TaskSpec] = []
+    priority_counters: dict[str, int] = {}
+    for layer_index, layer in enumerate(layers):
+        for name in layer:
+            ecu = f"ecu{rng.randrange(config.ecu_count)}"
+            # Earlier layers get higher priorities on their ECU so the
+            # dataflow direction matches scheduling urgency, as in real
+            # period-driven designs.
+            priority_counters.setdefault(ecu, 2 * config.task_count)
+            priority_counters[ecu] -= 1
+            wcet = rng.uniform(config.min_wcet, config.max_wcet)
+            bcet = wcet * rng.uniform(0.7, 1.0)
+            task_specs.append(
+                TaskSpec(
+                    name=name,
+                    ecu=ecu,
+                    priority=priority_counters[ecu],
+                    bcet=round(bcet, 3),
+                    wcet=round(wcet, 3),
+                    is_source=(layer_index == 0),
+                )
+            )
+
+    edges: list[MessageEdge] = []
+    edge_pairs: set[tuple[str, str]] = set()
+
+    def add_edge(sender: str, receiver: str) -> None:
+        if (sender, receiver) not in edge_pairs:
+            edge_pairs.add((sender, receiver))
+            edges.append(
+                MessageEdge(sender, receiver, frame_priority=len(edges))
+            )
+
+    # Every non-source task gets one guaranteed parent from an earlier layer.
+    for layer_index in range(1, layer_count):
+        earlier = [name for layer in layers[:layer_index] for name in layer]
+        for name in layers[layer_index]:
+            add_edge(rng.choice(earlier), name)
+    # Extra forward edges for density.
+    for layer_index in range(1, layer_count):
+        earlier = [name for layer in layers[:layer_index] for name in layer]
+        for name in layers[layer_index]:
+            for parent in earlier:
+                if rng.random() < config.extra_edge_probability:
+                    add_edge(parent, name)
+
+    # Promote a fraction of multi-out-edge tasks to disjunction nodes.
+    builder = DesignBuilder()
+    out_by_task: dict[str, list[MessageEdge]] = {}
+    for edge in edges:
+        out_by_task.setdefault(edge.sender, []).append(edge)
+    branch_tasks: dict[str, BranchMode] = {}
+    for name, outgoing in out_by_task.items():
+        if len(outgoing) >= 2 and rng.random() < config.disjunction_probability:
+            branch_tasks[name] = rng.choice(
+                [BranchMode.AT_LEAST_ONE, BranchMode.EXACTLY_ONE]
+            )
+    for spec in task_specs:
+        builder.task(
+            spec.name,
+            ecu=spec.ecu,
+            priority=spec.priority,
+            bcet=spec.bcet,
+            wcet=spec.wcet,
+            is_source=spec.is_source,
+        )
+    for edge in edges:
+        mode = branch_tasks.get(edge.sender)
+        if mode is not None:
+            builder.branch(
+                edge.sender, [edge.receiver], mode=mode,
+                frame_priority=edge.frame_priority,
+            )
+        else:
+            builder.message(
+                edge.sender, edge.receiver, frame_priority=edge.frame_priority
+            )
+    return builder.build()

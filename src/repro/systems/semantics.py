@@ -1,0 +1,182 @@
+"""Design semantics: behavior enumeration and ground-truth dependencies.
+
+A *behavior* is one complete resolution of a period's branch decisions:
+which tasks execute and which message edges fire. Designs are acyclic, so
+behaviors are enumerated in topological order, branching only at
+disjunction nodes that actually execute.
+
+From the behavior set we derive the design's *ground-truth dependency
+function*: the most specific dependency function consistent with every
+allowed behavior. This is what a perfect learner would converge to given
+an exhaustive trace and an execution environment that exhibits all allowed
+behaviors, and it is the reference for learned-vs-design comparisons. Note
+the paper's observation (end of Section 3.3) that this can contain certain
+dependencies invisible to naive transitive closure over the design graph —
+e.g. Figure 1's ``d(t1, t4) = →`` holds because *every* branch choice
+leads to ``t4``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    DepValue,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+    PARALLEL,
+    lub,
+)
+from repro.errors import ModelError
+from repro.systems.model import BranchMode, MessageEdge, SystemDesign
+
+
+@dataclass(frozen=True)
+class Behavior:
+    """One allowed period behavior: executed tasks and fired edges."""
+
+    executed: frozenset[str]
+    fired: tuple[MessageEdge, ...]
+
+    def fires(self, sender: str, receiver: str) -> bool:
+        return any(
+            e.sender == sender and e.receiver == receiver for e in self.fired
+        )
+
+
+def _decision_options(
+    design: SystemDesign, task: str
+) -> list[tuple[MessageEdge, ...]]:
+    """All allowed conditional-edge selections for an executing task."""
+    conditional = design.conditional_out_edges(task)
+    mode = design.task(task).branch_mode
+    if not conditional:
+        return [()]
+    if mode is BranchMode.EXACTLY_ONE:
+        return [(edge,) for edge in conditional]
+    if mode is BranchMode.AT_LEAST_ONE:
+        options: list[tuple[MessageEdge, ...]] = []
+        for size in range(1, len(conditional) + 1):
+            options.extend(itertools.combinations(conditional, size))
+        return options
+    raise ModelError(
+        f"task {task} has conditional edges but branch mode {mode}"
+    )
+
+
+def enumerate_behaviors(
+    design: SystemDesign, max_behaviors: int = 100_000
+) -> list[Behavior]:
+    """All allowed behaviors of one period, in deterministic order.
+
+    Raises :class:`~repro.errors.ModelError` if the behavior count exceeds
+    *max_behaviors* (exponential in the number of disjunction nodes).
+    """
+    order = design.topological_order()
+    behaviors: list[Behavior] = []
+
+    def extend(position: int, executed: set[str], fired: list[MessageEdge]) -> None:
+        if len(behaviors) > max_behaviors:
+            raise ModelError(
+                f"behavior enumeration exceeded {max_behaviors}; "
+                "reduce disjunction fan-out or raise the cap"
+            )
+        if position == len(order):
+            behaviors.append(Behavior(frozenset(executed), tuple(fired)))
+            return
+        task = order[position]
+        spec = design.task(task)
+        if spec.is_source:
+            if spec.activation_probability < 1.0:
+                # Sporadic source: both activation outcomes are allowed
+                # behaviors.
+                extend(position + 1, executed, fired)
+            runs = True
+        else:
+            runs = any(e.receiver == task for e in fired)
+        if not runs:
+            extend(position + 1, executed, fired)
+            return
+        executed.add(task)
+        unconditional = list(design.unconditional_out_edges(task))
+        for choice in _decision_options(design, task):
+            added = unconditional + list(choice)
+            fired.extend(added)
+            extend(position + 1, executed, fired)
+            del fired[len(fired) - len(added):]
+        executed.discard(task)
+
+    extend(0, set(), [])
+    return behaviors
+
+
+def influence_closure(design: SystemDesign) -> dict[str, frozenset[str]]:
+    """For each task, the set of tasks reachable through message edges."""
+    reachable: dict[str, set[str]] = {name: set() for name in design.task_names}
+    for name in reversed(design.topological_order()):
+        for edge in design.out_edges(name):
+            reachable[name].add(edge.receiver)
+            reachable[name] |= reachable[edge.receiver]
+    return {name: frozenset(value) for name, value in reachable.items()}
+
+
+def ground_truth_dependencies(
+    design: SystemDesign, max_behaviors: int = 100_000
+) -> DependencyFunction:
+    """The most specific dependency function consistent with all behaviors.
+
+    For an ordered pair ``(a, b)``:
+
+    * a forward arrow requires ``b`` to be reachable from ``a`` in the
+      design graph (influence); it is certain (``→``) iff ``b`` executes in
+      every behavior in which ``a`` executes, probable (``→?``) otherwise;
+    * the backward arrow is symmetric with reachability ``b ⇝ a``;
+    * with no reachability either way the value is ``‖``.
+    """
+    behaviors = enumerate_behaviors(design, max_behaviors)
+    closure = influence_closure(design)
+    names = design.task_names
+    entries: dict[tuple[str, str], DepValue] = {}
+    for a in names:
+        for b in names:
+            if a == b:
+                continue
+            value = PARALLEL
+            certain = all(
+                b in behavior.executed
+                for behavior in behaviors
+                if a in behavior.executed
+            )
+            if b in closure[a]:
+                value = lub(value, DETERMINES if certain else MAY_DETERMINE)
+            if a in closure[b]:
+                value = lub(value, DEPENDS if certain else MAY_DEPEND)
+            if value is not PARALLEL:
+                entries[a, b] = value
+    return DependencyFunction(names, entries)
+
+
+def execution_probability(
+    design: SystemDesign, max_behaviors: int = 100_000
+) -> dict[str, float]:
+    """Fraction of behaviors in which each task executes (uniform choice)."""
+    behaviors = enumerate_behaviors(design, max_behaviors)
+    total = len(behaviors)
+    return {
+        name: sum(1 for b in behaviors if name in b.executed) / total
+        for name in design.task_names
+    }
+
+
+def behavior_signatures(behaviors: list[Behavior]) -> Iterator[frozenset[str]]:
+    """Distinct executed-task sets across *behaviors*."""
+    seen: set[frozenset[str]] = set()
+    for behavior in behaviors:
+        if behavior.executed not in seen:
+            seen.add(behavior.executed)
+            yield behavior.executed

@@ -1,0 +1,162 @@
+"""Design specifications as data: JSON load/save for SystemDesign.
+
+Lets users define systems without writing Python — the CLI's
+``simulate --design-file`` consumes this format::
+
+    {
+      "format": "repro-design",
+      "version": 1,
+      "tasks": [
+        {"name": "t1", "ecu": "ecu0", "priority": 2, "bcet": 1.0,
+         "wcet": 2.0, "source": true, "branch_mode": "at_least_one",
+         "offset": 0.0, "activation_probability": 1.0}
+      ],
+      "edges": [
+        {"from": "t1", "to": "t2", "frame_priority": 0,
+         "conditional": true, "bus": "can0"}
+      ]
+    }
+
+Unknown fields are rejected (typos should fail loudly, not silently
+produce a different system).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.errors import ModelError
+from repro.systems.model import BranchMode, MessageEdge, SystemDesign, TaskSpec
+
+FORMAT_NAME = "repro-design"
+FORMAT_VERSION = 1
+
+_TASK_FIELDS = {
+    "name",
+    "ecu",
+    "priority",
+    "bcet",
+    "wcet",
+    "source",
+    "branch_mode",
+    "offset",
+    "activation_probability",
+}
+_EDGE_FIELDS = {"from", "to", "frame_priority", "conditional", "bus"}
+_BRANCH_MODES = {mode.value: mode for mode in BranchMode}
+
+
+def design_to_dict(design: SystemDesign) -> dict[str, Any]:
+    """JSON-ready form of *design*."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "tasks": [
+            {
+                "name": task.name,
+                "ecu": task.ecu,
+                "priority": task.priority,
+                "bcet": task.bcet,
+                "wcet": task.wcet,
+                "source": task.is_source,
+                "branch_mode": task.branch_mode.value,
+                "offset": task.offset,
+                "activation_probability": task.activation_probability,
+            }
+            for task in design.tasks
+        ],
+        "edges": [
+            {
+                "from": edge.sender,
+                "to": edge.receiver,
+                "frame_priority": edge.frame_priority,
+                "conditional": edge.conditional,
+                "bus": edge.bus,
+            }
+            for edge in design.edges
+        ],
+    }
+
+
+def design_from_dict(data: dict[str, Any]) -> SystemDesign:
+    """Rebuild (and re-validate) a design from its dictionary form."""
+    if not isinstance(data, dict):
+        raise ModelError("design spec root must be an object")
+    if data.get("format") != FORMAT_NAME:
+        raise ModelError(f"unexpected design format: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported design version: {data.get('version')!r}"
+        )
+    tasks = []
+    for entry in data.get("tasks", []):
+        unknown = set(entry) - _TASK_FIELDS
+        if unknown:
+            raise ModelError(
+                f"unknown task fields {sorted(unknown)} in {entry.get('name')!r}"
+            )
+        if "name" not in entry:
+            raise ModelError(f"task without a name: {entry!r}")
+        mode_text = entry.get("branch_mode", "none")
+        mode = _BRANCH_MODES.get(mode_text)
+        if mode is None:
+            raise ModelError(f"unknown branch mode: {mode_text!r}")
+        tasks.append(
+            TaskSpec(
+                name=entry["name"],
+                ecu=entry.get("ecu", "ecu0"),
+                priority=int(entry.get("priority", 0)),
+                bcet=float(entry.get("bcet", entry.get("wcet", 1.0))),
+                wcet=float(entry.get("wcet", 1.0)),
+                is_source=bool(entry.get("source", False)),
+                branch_mode=mode,
+                offset=float(entry.get("offset", 0.0)),
+                activation_probability=float(
+                    entry.get("activation_probability", 1.0)
+                ),
+            )
+        )
+    edges = []
+    for position, entry in enumerate(data.get("edges", [])):
+        unknown = set(entry) - _EDGE_FIELDS
+        if unknown:
+            raise ModelError(f"unknown edge fields {sorted(unknown)}")
+        if "from" not in entry or "to" not in entry:
+            raise ModelError(f"edge needs 'from' and 'to': {entry!r}")
+        edges.append(
+            MessageEdge(
+                sender=entry["from"],
+                receiver=entry["to"],
+                frame_priority=int(entry.get("frame_priority", position)),
+                conditional=bool(entry.get("conditional", False)),
+                bus=entry.get("bus", "can0"),
+            )
+        )
+    return SystemDesign(tasks, edges)
+
+
+def dump_design(design: SystemDesign, stream: TextIO, indent: int = 2) -> None:
+    """Write *design* as JSON."""
+    json.dump(design_to_dict(design), stream, indent=indent)
+
+
+def dumps_design(design: SystemDesign, indent: int = 2) -> str:
+    return json.dumps(design_to_dict(design), indent=indent)
+
+
+def load_design(stream: TextIO) -> SystemDesign:
+    """Parse a design from JSON."""
+    try:
+        data = json.load(stream)
+    except json.JSONDecodeError as error:
+        raise ModelError(f"invalid JSON: {error}") from error
+    return design_from_dict(data)
+
+
+def loads_design(text: str) -> SystemDesign:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ModelError(f"invalid JSON: {error}") from error
+    return design_from_dict(data)

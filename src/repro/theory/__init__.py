@@ -1,0 +1,37 @@
+"""Executable theory: theorem checkers and the NP-hardness construction."""
+
+from repro.theory.sat_reduction import (
+    CnfFormula,
+    brute_force_minimal_hitting_sets,
+    check_assignment,
+    formula_to_clause_family,
+    minimal_hitting_sets_via_learning,
+    solve_sat_via_learning,
+    trace_from_clauses,
+)
+from repro.theory.theorems import (
+    TheoremCheck,
+    brute_force_most_specific,
+    check_convergence,
+    check_correctness,
+    check_lemma,
+    check_optimality,
+    feasible_pair_universe,
+)
+
+__all__ = [
+    "TheoremCheck",
+    "check_correctness",
+    "check_optimality",
+    "check_lemma",
+    "check_convergence",
+    "brute_force_most_specific",
+    "feasible_pair_universe",
+    "CnfFormula",
+    "trace_from_clauses",
+    "minimal_hitting_sets_via_learning",
+    "brute_force_minimal_hitting_sets",
+    "formula_to_clause_family",
+    "solve_sat_via_learning",
+    "check_assignment",
+]

@@ -1,0 +1,66 @@
+"""Trace substrate: events, periods, traces, I/O, validation, synthesis."""
+
+from repro.trace.events import (
+    Event,
+    EventKind,
+    MessageOccurrence,
+    TaskExecution,
+    msg_fall,
+    msg_rise,
+    task_end,
+    task_start,
+)
+from repro.trace.anonymize import Anonymization, anonymize_trace, letter_names
+from repro.trace.period import Period
+from repro.trace.streaming import (
+    StreamHeader,
+    iter_periods,
+    read_header,
+    stream_learn,
+)
+from repro.trace.periodize import (
+    infer_period_by_autocorrelation,
+    infer_period_by_gaps,
+    segment_stream,
+)
+from repro.trace.synthetic import (
+    alternating_branch_trace,
+    build_period,
+    build_trace,
+    paper_figure2_trace,
+    serial_chain_trace,
+)
+from repro.trace.trace import Trace
+from repro.trace.validate import Diagnostic, Severity, assert_valid, validate_trace
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "TaskExecution",
+    "MessageOccurrence",
+    "task_start",
+    "task_end",
+    "msg_rise",
+    "msg_fall",
+    "Period",
+    "Trace",
+    "build_period",
+    "build_trace",
+    "paper_figure2_trace",
+    "serial_chain_trace",
+    "alternating_branch_trace",
+    "validate_trace",
+    "assert_valid",
+    "Diagnostic",
+    "Severity",
+    "Anonymization",
+    "anonymize_trace",
+    "letter_names",
+    "infer_period_by_gaps",
+    "infer_period_by_autocorrelation",
+    "segment_stream",
+    "StreamHeader",
+    "read_header",
+    "iter_periods",
+    "stream_learn",
+]

@@ -1,0 +1,104 @@
+"""Trace anonymization: consistent renaming of proprietary task names.
+
+The paper could not disclose GM's task names and "abstract[ed] these
+tasks using letters A to P and S". This module provides that operation
+for arbitrary traces: a deterministic, collision-free renaming of every
+task (and optionally message label), plus the mapping so results can be
+de-anonymized by those who hold the key.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import TraceError
+from repro.trace.events import Event
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+
+def letter_names(count: int) -> list[str]:
+    """``A, B, ..., Z, AA, AB, ...`` — the paper's letter scheme."""
+    names = []
+    alphabet = string.ascii_uppercase
+    for index in range(count):
+        name = ""
+        position = index
+        while True:
+            name = alphabet[position % 26] + name
+            position = position // 26 - 1
+            if position < 0:
+                break
+        names.append(name)
+    return names
+
+
+@dataclass(frozen=True)
+class Anonymization:
+    """The result of anonymizing a trace."""
+
+    trace: Trace
+    mapping: dict[str, str]       # original -> anonymous
+    reverse: dict[str, str]       # anonymous -> original
+
+    def deanonymize_task(self, name: str) -> str:
+        try:
+            return self.reverse[name]
+        except KeyError:
+            raise TraceError(f"unknown anonymous task: {name}") from None
+
+
+def anonymize_trace(
+    trace: Trace,
+    name_source: Callable[[int], list[str]] = letter_names,
+    keep: Iterable[str] = (),
+) -> Anonymization:
+    """Rename every task of *trace* consistently.
+
+    Parameters
+    ----------
+    trace:
+        The trace to anonymize.
+    name_source:
+        Generates the anonymous name list; defaults to the paper's letter
+        scheme.
+    keep:
+        Task names to leave untouched (e.g. well-known infrastructure
+        tasks whose identity is not sensitive).
+    """
+    kept = set(keep)
+    unknown = kept - set(trace.tasks)
+    if unknown:
+        raise TraceError(f"keep list names unknown tasks: {sorted(unknown)}")
+    to_rename = [name for name in trace.tasks if name not in kept]
+    anonymous = name_source(len(to_rename))
+    if len(set(anonymous)) != len(to_rename):
+        raise TraceError("name source produced duplicate names")
+    collisions = set(anonymous) & kept
+    if collisions:
+        raise TraceError(
+            f"anonymous names collide with kept names: {sorted(collisions)}"
+        )
+    mapping = dict(zip(to_rename, anonymous))
+    for name in kept:
+        mapping[name] = name
+
+    periods = []
+    for period in trace.periods:
+        events = []
+        for event in period.events:
+            subject = (
+                mapping[event.subject]
+                if event.kind.is_task_event
+                else event.subject
+            )
+            events.append(Event(event.time, event.kind, subject))
+        periods.append(Period(events, index=period.index))
+    renamed = Trace(tuple(mapping[name] for name in trace.tasks), periods)
+    return Anonymization(
+        trace=renamed,
+        mapping=mapping,
+        reverse={v: k for k, v in mapping.items()},
+    )

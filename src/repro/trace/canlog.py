@@ -1,0 +1,182 @@
+"""candump-style CAN log adapter.
+
+Real bus loggers emit lines in the classic ``candump -L`` shape::
+
+    (0.000000) can0 700#01
+    (0.002000) can0 701#01
+    (0.002100) can0 123#DEADBEEF
+
+This adapter converts such logs into :class:`~repro.trace.trace.Trace`
+streams under a common automotive instrumentation convention:
+
+* two reserved identifiers carry task instrumentation: a frame on the
+  *start* identifier means "task <payload byte> started", one on the
+  *end* identifier "task <payload byte> ended";
+* every other frame is an application message: its rising edge is the
+  log timestamp and its falling edge follows from the frame length and
+  the configured bitrate (standard CAN 2.0A framing: 47 bit overhead
+  incl. interframe space + 8 bits per data byte, ignoring stuffing);
+* message occurrences get globally unique labels (``m1``, ``m2``, …), so
+  any later period segmentation keeps labels unique per period.
+
+The adapter is bidirectional — :func:`events_to_canlog` writes a log
+from a trace, enabling round-trip tests and synthetic log generation for
+tools that expect candump input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import TraceParseError
+from repro.trace.events import Event, EventKind, msg_fall, msg_rise, task_end, task_start
+
+#: CAN 2.0A frame overhead in bits (SOF..EOF + interframe space).
+FRAME_OVERHEAD_BITS = 47
+BITS_PER_BYTE = 8
+
+
+@dataclass(frozen=True)
+class CanLogConfig:
+    """How to interpret a candump log.
+
+    Attributes
+    ----------
+    task_names:
+        Payload byte -> task name for instrumentation frames.
+    start_id / end_id:
+        CAN identifiers reserved for task start/end instrumentation.
+    bitrate:
+        Bus bitrate in bits per time unit of the log's timestamps
+        (e.g. bits/second for second timestamps).
+    """
+
+    task_names: dict[int, str] = field(default_factory=dict)
+    start_id: int = 0x700
+    end_id: int = 0x701
+    bitrate: float = 500_000.0
+
+    def frame_duration(self, data_bytes: int) -> float:
+        bits = FRAME_OVERHEAD_BITS + BITS_PER_BYTE * data_bytes
+        return bits / self.bitrate
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """One parsed log line."""
+
+    timestamp: float
+    channel: str
+    can_id: int
+    data: bytes
+
+
+def parse_frame(line: str, line_number: int | None = None) -> CanFrame:
+    """Parse one ``(ts) channel id#hexdata`` line."""
+    fields = line.strip().split()
+    if len(fields) != 3:
+        raise TraceParseError(
+            f"expected '(ts) channel id#data', got {line!r}", line_number
+        )
+    ts_text, channel, frame_text = fields
+    if not (ts_text.startswith("(") and ts_text.endswith(")")):
+        raise TraceParseError(
+            f"timestamp must be parenthesized: {ts_text!r}", line_number
+        )
+    try:
+        timestamp = float(ts_text[1:-1])
+    except ValueError:
+        raise TraceParseError(
+            f"bad timestamp: {ts_text!r}", line_number
+        ) from None
+    if "#" not in frame_text:
+        raise TraceParseError(
+            f"frame must be 'id#data': {frame_text!r}", line_number
+        )
+    id_text, data_text = frame_text.split("#", 1)
+    try:
+        can_id = int(id_text, 16)
+    except ValueError:
+        raise TraceParseError(
+            f"bad CAN identifier: {id_text!r}", line_number
+        ) from None
+    try:
+        data = bytes.fromhex(data_text) if data_text else b""
+    except ValueError:
+        raise TraceParseError(
+            f"bad hex payload: {data_text!r}", line_number
+        ) from None
+    return CanFrame(timestamp, channel, can_id, data)
+
+
+def canlog_to_events(
+    lines: Iterable[str], config: CanLogConfig
+) -> list[Event]:
+    """Convert a candump log into trace events (flat stream)."""
+    events: list[Event] = []
+    message_counter = 0
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        frame = parse_frame(line, line_number)
+        if frame.can_id in (config.start_id, config.end_id):
+            if len(frame.data) != 1:
+                raise TraceParseError(
+                    "instrumentation frame must carry exactly one byte",
+                    line_number,
+                )
+            task = config.task_names.get(frame.data[0])
+            if task is None:
+                raise TraceParseError(
+                    f"unknown task id 0x{frame.data[0]:02x}", line_number
+                )
+            if frame.can_id == config.start_id:
+                events.append(task_start(frame.timestamp, task))
+            else:
+                events.append(task_end(frame.timestamp, task))
+        else:
+            message_counter += 1
+            label = f"m{message_counter}"
+            rise = frame.timestamp
+            fall = rise + config.frame_duration(len(frame.data))
+            events.append(msg_rise(rise, label))
+            events.append(msg_fall(fall, label))
+    return events
+
+
+def events_to_canlog(
+    events: Sequence[Event],
+    config: CanLogConfig,
+    channel: str = "can0",
+    message_id: int = 0x123,
+    message_bytes: int = 4,
+) -> list[str]:
+    """Render trace events as a candump log (inverse of the parser).
+
+    Message falling edges are implicit in the log (derived from frame
+    length), so only rises are emitted for messages.
+    """
+    id_of_task = {name: byte for byte, name in config.task_names.items()}
+    lines = []
+    for event in sorted(events):
+        if event.kind is EventKind.TASK_START:
+            byte = id_of_task[event.subject]
+            lines.append(
+                f"({event.time:.6f}) {channel} "
+                f"{config.start_id:03X}#{byte:02X}"
+            )
+        elif event.kind is EventKind.TASK_END:
+            byte = id_of_task[event.subject]
+            lines.append(
+                f"({event.time:.6f}) {channel} "
+                f"{config.end_id:03X}#{byte:02X}"
+            )
+        elif event.kind is EventKind.MSG_RISE:
+            payload = "00" * message_bytes
+            lines.append(
+                f"({event.time:.6f}) {channel} {message_id:03X}#{payload}"
+            )
+        # falls are implicit
+    return lines

@@ -1,0 +1,95 @@
+"""CSV trace interchange format.
+
+Many bus analyzers export CSV; this module reads and writes a simple
+five-column schema::
+
+    period,time,kind,subject,comment
+    0,0.0,task_start,t1,
+    0,2.0,task_end,t1,
+
+The ``comment`` column is ignored on input and left empty on output. The
+task universe is either passed explicitly or inferred from the task events
+present in the file.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, TextIO
+
+from repro.errors import TraceParseError
+from repro.trace.events import Event, EventKind
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+_HEADER = ["period", "time", "kind", "subject", "comment"]
+_KINDS = {kind.value: kind for kind in EventKind}
+
+
+def dump_csv(trace: Trace, stream: TextIO) -> None:
+    """Write *trace* as CSV rows (with header) to *stream*."""
+    writer = csv.writer(stream)
+    writer.writerow(_HEADER)
+    for period in trace.periods:
+        for event in period.events:
+            writer.writerow(
+                [period.index, repr(event.time), event.kind.value, event.subject, ""]
+            )
+
+
+def dumps_csv(trace: Trace) -> str:
+    """Serialize *trace* to a CSV string."""
+    buffer = io.StringIO()
+    dump_csv(trace, buffer)
+    return buffer.getvalue()
+
+
+def load_csv(stream: TextIO, tasks: Iterable[str] | None = None) -> Trace:
+    """Parse a trace from CSV.
+
+    If *tasks* is None the universe is inferred from the task events seen
+    (a task that never runs in the window is then invisible — pass the
+    universe explicitly when it is known).
+    """
+    reader = csv.reader(stream)
+    buckets: dict[int, list[Event]] = {}
+    seen_tasks: set[str] = set()
+    for row_number, row in enumerate(reader, start=1):
+        if not row or (row_number == 1 and row[0].strip() == "period"):
+            continue
+        if len(row) < 4:
+            raise TraceParseError(
+                f"expected at least 4 columns, got {len(row)}", row_number
+            )
+        try:
+            period_index = int(row[0])
+        except ValueError:
+            raise TraceParseError(
+                f"period column is not an integer: {row[0]!r}", row_number
+            ) from None
+        try:
+            time = float(row[1])
+        except ValueError:
+            raise TraceParseError(
+                f"time column is not a number: {row[1]!r}", row_number
+            ) from None
+        kind = _KINDS.get(row[2].strip())
+        if kind is None:
+            raise TraceParseError(f"unknown event kind: {row[2]!r}", row_number)
+        subject = row[3].strip()
+        if not subject:
+            raise TraceParseError("empty subject column", row_number)
+        buckets.setdefault(period_index, []).append(Event(time, kind, subject))
+        if kind.is_task_event:
+            seen_tasks.add(subject)
+    periods = [
+        Period(buckets[key], index=i) for i, key in enumerate(sorted(buckets))
+    ]
+    universe = tuple(tasks) if tasks is not None else tuple(sorted(seen_tasks))
+    return Trace(universe, periods)
+
+
+def loads_csv(text: str, tasks: Iterable[str] | None = None) -> Trace:
+    """Parse a trace from a CSV string."""
+    return load_csv(io.StringIO(text), tasks)

@@ -1,0 +1,156 @@
+"""Timestamped trace events (paper Section 2.1).
+
+A trace is a timestamped sequence of events, where an event is the start or
+end of a task, or the rising or falling edge of a message transmitted on the
+bus. The logging device is attached to the shared bus: it observes *that* a
+message was transmitted and *when*, but not who sent or received it.
+
+Event subjects are plain strings: a task name for task events, a message
+occurrence label (unique within its period, e.g. ``"m1"``) for message
+events. Times are floats in an arbitrary but consistent unit (the simulator
+uses milliseconds).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """The four observable event kinds."""
+
+    TASK_START = "task_start"
+    TASK_END = "task_end"
+    MSG_RISE = "msg_rise"
+    MSG_FALL = "msg_fall"
+
+    @property
+    def is_task_event(self) -> bool:
+        return self in (EventKind.TASK_START, EventKind.TASK_END)
+
+    @property
+    def is_message_event(self) -> bool:
+        return self in (EventKind.MSG_RISE, EventKind.MSG_FALL)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single timestamped observation from the bus logger.
+
+    Ordering is by time first, which makes a list of events sortable into
+    trace order directly. Ties are broken by kind and subject so sorting is
+    deterministic.
+    """
+
+    time: float
+    kind: EventKind
+    subject: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+        if not self.subject:
+            raise ValueError("event subject must be a non-empty string")
+
+    def _sort_key(self) -> tuple[float, int, str]:
+        # At equal timestamps, starts/rises must sort before their matching
+        # ends/falls so zero-duration executions and transmissions pair up.
+        return (self.time, _KIND_RANK[self.kind], self.subject)
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+    def __str__(self) -> str:
+        return f"{self.time:.3f} {self.kind.value} {self.subject}"
+
+
+_KIND_RANK = {
+    EventKind.TASK_START: 0,
+    EventKind.MSG_RISE: 1,
+    EventKind.MSG_FALL: 2,
+    EventKind.TASK_END: 3,
+}
+
+
+def task_start(time: float, task: str) -> Event:
+    """Convenience constructor for a task start event."""
+    return Event(time, EventKind.TASK_START, task)
+
+
+def task_end(time: float, task: str) -> Event:
+    """Convenience constructor for a task end event."""
+    return Event(time, EventKind.TASK_END, task)
+
+
+def msg_rise(time: float, message: str) -> Event:
+    """Convenience constructor for a message rising-edge event."""
+    return Event(time, EventKind.MSG_RISE, message)
+
+
+def msg_fall(time: float, message: str) -> Event:
+    """Convenience constructor for a message falling-edge event."""
+    return Event(time, EventKind.MSG_FALL, message)
+
+
+@dataclass(frozen=True)
+class TaskExecution:
+    """A task's single execution within one period (start/end pair)."""
+
+    task: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"task {self.task}: end {self.end} precedes start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class MessageOccurrence:
+    """One message frame observed on the bus within one period.
+
+    ``label`` is unique within the period. The rise edge is the start of the
+    frame transmission, the fall edge its completion; a receiver can only
+    consume the message after the falling edge.
+    """
+
+    label: str
+    rise: float
+    fall: float
+
+    def __post_init__(self) -> None:
+        if self.fall < self.rise:
+            raise ValueError(
+                f"message {self.label}: fall {self.fall} precedes rise {self.rise}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.fall - self.rise

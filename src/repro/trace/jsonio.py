@@ -1,0 +1,131 @@
+"""JSON trace interchange format.
+
+Schema::
+
+    {
+      "format": "repro-trace",
+      "version": 1,
+      "tasks": ["t1", "t2"],
+      "periods": [
+        {
+          "index": 0,
+          "events": [
+            {"time": 0.0, "kind": "task_start", "subject": "t1"},
+            ...
+          ]
+        }
+      ]
+    }
+
+JSON is the interchange format of choice for tooling pipelines
+(dashboards, notebooks); the textual log (:mod:`repro.trace.textio`)
+stays the human-inspectable default.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.errors import TraceParseError
+from repro.trace.events import Event, EventKind
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+_KINDS = {kind.value: kind for kind in EventKind}
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    """The JSON-ready dictionary form of *trace*."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "tasks": list(trace.tasks),
+        "periods": [
+            {
+                "index": period.index,
+                "events": [
+                    {
+                        "time": event.time,
+                        "kind": event.kind.value,
+                        "subject": event.subject,
+                    }
+                    for event in period.events
+                ],
+            }
+            for period in trace.periods
+        ],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    """Rebuild a trace from its dictionary form."""
+    if not isinstance(data, dict):
+        raise TraceParseError("JSON root must be an object")
+    if data.get("format") != FORMAT_NAME:
+        raise TraceParseError(
+            f"unexpected format marker: {data.get('format')!r}"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise TraceParseError(
+            f"unsupported format version: {data.get('version')!r}"
+        )
+    tasks = data.get("tasks")
+    if not isinstance(tasks, list) or not all(
+        isinstance(t, str) for t in tasks
+    ):
+        raise TraceParseError("'tasks' must be a list of strings")
+    period_entries = data.get("periods")
+    if not isinstance(period_entries, list):
+        raise TraceParseError("'periods' must be a list")
+    periods = []
+    for position, entry in enumerate(period_entries):
+        events = []
+        for event_data in entry.get("events", []):
+            kind = _KINDS.get(event_data.get("kind"))
+            if kind is None:
+                raise TraceParseError(
+                    f"unknown event kind in period {position}: "
+                    f"{event_data.get('kind')!r}"
+                )
+            try:
+                time = float(event_data["time"])
+                subject = str(event_data["subject"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise TraceParseError(
+                    f"malformed event in period {position}: {event_data!r}"
+                ) from error
+            events.append(Event(time, kind, subject))
+        periods.append(Period(events, index=position))
+    return Trace(tuple(tasks), periods)
+
+
+def dump_json(trace: Trace, stream: TextIO, indent: int | None = 2) -> None:
+    """Write *trace* as JSON to *stream*."""
+    json.dump(trace_to_dict(trace), stream, indent=indent)
+
+
+def dumps_json(trace: Trace, indent: int | None = 2) -> str:
+    """Serialize *trace* to a JSON string."""
+    return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def load_json(stream: TextIO) -> Trace:
+    """Parse a trace from a JSON stream."""
+    try:
+        data = json.load(stream)
+    except json.JSONDecodeError as error:
+        raise TraceParseError(f"invalid JSON: {error}") from error
+    return trace_from_dict(data)
+
+
+def loads_json(text: str) -> Trace:
+    """Parse a trace from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise TraceParseError(f"invalid JSON: {error}") from error
+    return trace_from_dict(data)

@@ -1,0 +1,149 @@
+"""Periods: the learning problem's instances (paper Definition 1).
+
+A period is one repetition of the system's periodic schedule. Within a
+period each task executes at most once, and no message crosses the period
+boundary. The learner treats each period as one instance; the order of
+periods in a trace is irrelevant to the learned result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    Event,
+    EventKind,
+    MessageOccurrence,
+    TaskExecution,
+)
+
+
+class Period:
+    """One period of observed execution, assembled from raw events.
+
+    The constructor pairs up start/end and rise/fall events, enforcing the
+    model-of-computation assumptions from Section 2.1:
+
+    * a task executes at most once per period;
+    * every task start has a matching later end (and vice versa);
+    * every message rise has a matching later fall (and vice versa);
+    * message labels are unique within the period.
+
+    Violations raise :class:`~repro.errors.TraceError`.
+    """
+
+    __slots__ = ("_events", "_executions", "_messages", "_task_set", "index")
+
+    def __init__(self, events: Iterable[Event], index: int = 0):
+        self._events: tuple[Event, ...] = tuple(sorted(events))
+        self.index = index
+        self._executions = self._pair_task_events(self._events)
+        self._messages = self._pair_message_events(self._events)
+        self._task_set = frozenset(e.task for e in self._executions)
+
+    @staticmethod
+    def _pair_task_events(events: Sequence[Event]) -> tuple[TaskExecution, ...]:
+        starts: dict[str, float] = {}
+        executions: list[TaskExecution] = []
+        finished: set[str] = set()
+        for event in events:
+            if event.kind is EventKind.TASK_START:
+                if event.subject in starts or event.subject in finished:
+                    raise TraceError(
+                        f"task {event.subject} starts more than once in a period"
+                    )
+                starts[event.subject] = event.time
+            elif event.kind is EventKind.TASK_END:
+                if event.subject not in starts:
+                    raise TraceError(
+                        f"task {event.subject} ends without a start in a period"
+                    )
+                executions.append(
+                    TaskExecution(event.subject, starts.pop(event.subject), event.time)
+                )
+                finished.add(event.subject)
+        if starts:
+            dangling = ", ".join(sorted(starts))
+            raise TraceError(f"task(s) {dangling} never end within the period")
+        executions.sort(key=lambda e: (e.start, e.task))
+        return tuple(executions)
+
+    @staticmethod
+    def _pair_message_events(events: Sequence[Event]) -> tuple[MessageOccurrence, ...]:
+        rises: dict[str, float] = {}
+        messages: list[MessageOccurrence] = []
+        seen: set[str] = set()
+        for event in events:
+            if event.kind is EventKind.MSG_RISE:
+                if event.subject in rises or event.subject in seen:
+                    raise TraceError(
+                        f"message {event.subject} rises more than once in a period"
+                    )
+                rises[event.subject] = event.time
+            elif event.kind is EventKind.MSG_FALL:
+                if event.subject not in rises:
+                    raise TraceError(
+                        f"message {event.subject} falls without a rise in a period"
+                    )
+                messages.append(
+                    MessageOccurrence(event.subject, rises.pop(event.subject), event.time)
+                )
+                seen.add(event.subject)
+        if rises:
+            dangling = ", ".join(sorted(rises))
+            raise TraceError(f"message(s) {dangling} never fall within the period")
+        messages.sort(key=lambda m: (m.rise, m.label))
+        return tuple(messages)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """All events in time order."""
+        return self._events
+
+    @property
+    def executions(self) -> tuple[TaskExecution, ...]:
+        """Task executions, ordered by start time."""
+        return self._executions
+
+    @property
+    def messages(self) -> tuple[MessageOccurrence, ...]:
+        """Message occurrences, ordered by rising edge."""
+        return self._messages
+
+    @property
+    def executed_tasks(self) -> frozenset[str]:
+        """The set of tasks that executed in this period."""
+        return self._task_set
+
+    def executed(self, task: str) -> bool:
+        """True if *task* executed in this period."""
+        return task in self._task_set
+
+    def execution_of(self, task: str) -> TaskExecution:
+        """The execution record of *task*; raises KeyError if it did not run."""
+        for execution in self._executions:
+            if execution.task == task:
+                return execution
+        raise KeyError(f"task {task} did not execute in period {self.index}")
+
+    def start_time(self) -> float:
+        """Time of the first event (0.0 for an empty period)."""
+        return self._events[0].time if self._events else 0.0
+
+    def end_time(self) -> float:
+        """Time of the last event (0.0 for an empty period)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Period(index={self.index}, tasks={sorted(self._task_set)}, "
+            f"messages={len(self._messages)})"
+        )

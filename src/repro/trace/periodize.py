@@ -1,0 +1,126 @@
+"""Period-length inference from flat event streams.
+
+A logging device produces one long timestamped stream; segmenting it into
+the learner's instances requires the system period, which for a true
+black box may be unknown. This module infers it:
+
+* :func:`infer_period_by_gaps` — robust heuristic for well-separated
+  periods: the stream pauses between periods, so the period length is
+  recovered from the spacing of activity bursts;
+* :func:`infer_period_by_autocorrelation` — signal-processing approach
+  for densely packed streams: the event-rate signal is binned and the
+  first dominant autocorrelation peak gives the period (uses numpy);
+* :func:`segment_stream` — convenience wrapper: infer, validate, and
+  return a segmented :class:`~repro.trace.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.events import Event
+from repro.trace.trace import Trace
+
+
+def _sorted_times(events: Sequence[Event]) -> np.ndarray:
+    if len(events) < 4:
+        raise TraceError("too few events to infer a period")
+    return np.array(sorted(event.time for event in events))
+
+
+def infer_period_by_gaps(
+    events: Sequence[Event], gap_factor: float = 3.0
+) -> float:
+    """Infer the period from inter-burst gaps.
+
+    Looks for inter-event gaps at least ``gap_factor`` times the median
+    gap; the period is the median distance between consecutive burst
+    starts. Raises :class:`~repro.errors.TraceError` when no such
+    structure exists (densely packed streams — use autocorrelation).
+    """
+    times = _sorted_times(events)
+    gaps = np.diff(times)
+    positive = gaps[gaps > 0]
+    if positive.size == 0:
+        raise TraceError("all events are simultaneous")
+    threshold = float(np.median(positive)) * gap_factor
+    burst_starts = [times[0]]
+    for previous, current, gap in zip(times, times[1:], gaps):
+        if gap > threshold:
+            burst_starts.append(current)
+    if len(burst_starts) < 2:
+        raise TraceError(
+            "no inter-period gaps found; try autocorrelation inference"
+        )
+    distances = np.diff(np.array(burst_starts))
+    return float(np.median(distances))
+
+
+def infer_period_by_autocorrelation(
+    events: Sequence[Event],
+    bin_width: float | None = None,
+    min_period_bins: int = 2,
+) -> float:
+    """Infer the period from the autocorrelation of the event-rate signal.
+
+    The stream is binned into an event-count signal; the lag with the
+    highest autocorrelation (beyond ``min_period_bins``) is the period.
+    """
+    times = _sorted_times(events)
+    span = float(times[-1] - times[0])
+    if span <= 0:
+        raise TraceError("all events are simultaneous")
+    if bin_width is None:
+        # Aim for ~40 bins per suspected period; with nothing known,
+        # target ~1000 bins across the stream.
+        bin_width = span / 1000.0
+    bin_count = int(np.ceil(span / bin_width)) + 1
+    signal, _edges = np.histogram(
+        times, bins=bin_count, range=(float(times[0]), float(times[-1]))
+    )
+    signal = signal.astype(float) - signal.mean()
+    correlation = np.correlate(signal, signal, mode="full")
+    correlation = correlation[correlation.size // 2:]
+    if correlation.size <= min_period_bins + 2:
+        raise TraceError("stream too short for autocorrelation inference")
+    # Take the *first* strong local maximum, not the global one: harmonics
+    # at integer multiples of the period can edge out the fundamental.
+    tail = correlation[min_period_bins:]
+    strongest = float(tail.max())
+    lag = None
+    for offset in range(1, tail.size - 1):
+        value = tail[offset]
+        if (
+            value >= tail[offset - 1]
+            and value >= tail[offset + 1]
+            and value >= 0.8 * strongest
+        ):
+            lag = offset + min_period_bins
+            break
+    if lag is None:
+        lag = int(np.argmax(tail)) + min_period_bins
+    return float(lag * (span / bin_count))
+
+
+def segment_stream(
+    tasks: Iterable[str],
+    events: Sequence[Event],
+    period_length: float | None = None,
+    method: str = "gaps",
+) -> Trace:
+    """Infer the period if needed and segment the stream into a trace.
+
+    ``method`` is ``"gaps"`` or ``"autocorrelation"``; ignored when
+    *period_length* is given explicitly.
+    """
+    if period_length is None:
+        if method == "gaps":
+            period_length = infer_period_by_gaps(events)
+        elif method == "autocorrelation":
+            period_length = infer_period_by_autocorrelation(events)
+        else:
+            raise TraceError(f"unknown inference method: {method!r}")
+    return Trace.from_events(tasks, events, period_length)

@@ -1,0 +1,114 @@
+"""Streamed trace ingestion: learn from logs too large to hold in memory.
+
+Field traces can span hours (millions of events). The batch loaders in
+:mod:`repro.trace.textio` build the whole :class:`~repro.trace.trace.Trace`
+first; this module yields one :class:`~repro.trace.period.Period` at a
+time from the textual log format, so an incremental learner can consume
+arbitrarily long logs with per-period memory::
+
+    learner = make_learner(tasks, bound=32)
+    with open("huge.log") as stream:
+        header = read_header(stream)
+        for period in iter_periods(stream, header):
+            learner.feed(period)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, TextIO
+
+from repro.errors import TraceParseError
+from repro.trace.events import Event, EventKind
+from repro.trace.period import Period
+
+_KINDS = {kind.value: kind for kind in EventKind}
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """The log's leading metadata (currently just the task universe)."""
+
+    tasks: tuple[str, ...]
+
+
+def read_header(stream: TextIO) -> StreamHeader:
+    """Consume lines up to and including the ``tasks`` header."""
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if fields[0] != "tasks":
+            raise TraceParseError(
+                f"expected tasks header, got {line!r}", line_number
+            )
+        if len(fields) < 2:
+            raise TraceParseError("tasks header names no tasks", line_number)
+        return StreamHeader(tasks=tuple(fields[1:]))
+    raise TraceParseError("stream ended before a tasks header")
+
+
+def iter_periods(stream: TextIO, header: StreamHeader) -> Iterator[Period]:
+    """Yield periods lazily from the body of a textual trace log.
+
+    The stream must be positioned just after the header (see
+    :func:`read_header`). Periods are yielded as soon as their closing
+    boundary (the next ``period`` line or end of stream) is reached, so
+    memory usage is bounded by the largest single period.
+    """
+    current: list[Event] | None = None
+    index = 0
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if fields[0] == "period":
+            if current is not None:
+                yield Period(current, index=index)
+                index += 1
+            current = []
+            continue
+        if current is None:
+            raise TraceParseError(
+                "event before first period header", line_number
+            )
+        if len(fields) != 3:
+            raise TraceParseError(
+                f"expected '<time> <kind> <subject>', got {line!r}",
+                line_number,
+            )
+        time_text, kind_text, subject = fields
+        kind = _KINDS.get(kind_text)
+        if kind is None:
+            raise TraceParseError(
+                f"unknown event kind: {kind_text!r}", line_number
+            )
+        try:
+            time = float(time_text)
+        except ValueError:
+            raise TraceParseError(
+                f"event time is not a number: {time_text!r}", line_number
+            ) from None
+        current.append(Event(time, kind, subject))
+    if current is not None:
+        yield Period(current, index=index)
+
+
+def stream_learn(
+    stream: TextIO,
+    bound: int | None = None,
+    tolerance: float = 0.0,
+):
+    """One-call streamed learning from an open textual log.
+
+    Returns the finished :class:`~repro.core.result.LearningResult`.
+    """
+    from repro.core.learner import make_learner
+
+    header = read_header(stream)
+    learner = make_learner(header.tasks, bound=bound, tolerance=tolerance)
+    for period in iter_periods(stream, header):
+        learner.feed(period)
+    return learner.result()

@@ -1,0 +1,141 @@
+"""Hand-constructed traces, including the paper's Figure 2 example.
+
+:func:`build_period` offers a compact way to write periods in tests and
+examples; :func:`paper_figure2_trace` reconstructs the exact three-period
+trace of the paper's running example (Figures 1 and 2), with timings chosen
+so the temporal candidate sets match the paper's derivation:
+
+* period 1: ``A_m1 = {(t1,t2), (t1,t4)}``, ``A_m2 = {(t1,t4), (t2,t4)}``;
+* period 2: ``A_m3 = {(t1,t3), (t1,t4)}``, ``A_m4 = {(t1,t4), (t3,t4)}``;
+* period 3: ``A_m5 = {(t1,t2), (t1,t3), (t1,t4)}``,
+  ``A_m6 = {(t1,t2), (t1,t4)}`` (m6 is sent by t1 while t3 is still
+  running and arrives before t2 starts — t2 and t3 overlap on different
+  ECUs), ``A_m7 = A_m8 = {(t1,t4), (t2,t4), (t3,t4)}``.
+
+With these candidate sets the exact learner reproduces the paper's
+Section 3.3 run verbatim: 2 hypotheses after ``m1``, three after period 1
+(``d21, d22, d23``), five after period 3 (``d81 ... d85``) and the
+published ``dLUB``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.trace.events import Event, msg_fall, msg_rise, task_end, task_start
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+TaskSpec = tuple[str, float, float]       # (task, start, end)
+MessageSpec = tuple[str, float, float]    # (label, rise, fall)
+
+
+def build_period(
+    tasks: Iterable[TaskSpec],
+    messages: Iterable[MessageSpec] = (),
+    index: int = 0,
+) -> Period:
+    """Build a period from ``(task, start, end)`` and ``(msg, rise, fall)``."""
+    events: list[Event] = []
+    for task, start, end in tasks:
+        events.append(task_start(start, task))
+        events.append(task_end(end, task))
+    for label, rise, fall in messages:
+        events.append(msg_rise(rise, label))
+        events.append(msg_fall(fall, label))
+    return Period(events, index=index)
+
+
+def build_trace(
+    tasks: Iterable[str],
+    periods: Sequence[tuple[Iterable[TaskSpec], Iterable[MessageSpec]]],
+) -> Trace:
+    """Build a trace from per-period ``(tasks, messages)`` spec pairs."""
+    built = [
+        build_period(task_specs, message_specs, index=i)
+        for i, (task_specs, message_specs) in enumerate(periods)
+    ]
+    return Trace(tasks, built)
+
+
+PAPER_TASKS = ("t1", "t2", "t3", "t4")
+
+
+def paper_figure2_trace() -> Trace:
+    """The three-period trace of the paper's Figure 2 (see module docstring)."""
+    period1 = (
+        [("t1", 0.0, 2.0), ("t2", 3.0, 5.0), ("t4", 6.0, 8.0)],
+        [("m1", 2.1, 2.5), ("m2", 5.1, 5.5)],
+    )
+    period2 = (
+        [("t1", 10.0, 12.0), ("t3", 13.0, 15.0), ("t4", 16.0, 18.0)],
+        [("m3", 12.1, 12.5), ("m4", 15.1, 15.5)],
+    )
+    period3 = (
+        [
+            ("t1", 20.0, 22.0),
+            ("t3", 23.0, 25.0),
+            # t2 overlaps t3 (they run on different ECUs): this is what
+            # keeps (t3, t2) out of every candidate set, as in the paper.
+            ("t2", 24.5, 26.5),
+            ("t4", 28.0, 30.0),
+        ],
+        [
+            ("m5", 22.1, 22.4),
+            ("m6", 23.5, 23.9),
+            ("m7", 26.6, 27.0),
+            ("m8", 27.2, 27.6),
+        ],
+    )
+    return build_trace(PAPER_TASKS, [period1, period2, period3])
+
+
+def serial_chain_trace(
+    task_count: int,
+    period_count: int,
+    period_length: float = 100.0,
+) -> Trace:
+    """A deterministic pipeline: t0 -> t1 -> ... -> t(n-1) every period.
+
+    Each task runs for one time unit and passes a message to its successor.
+    Useful as a fully convergent workload: the exact learner ends with a
+    single hypothesis whose chain entries are all ``→``/``←``.
+    """
+    tasks = [f"t{i}" for i in range(task_count)]
+    periods = []
+    for p in range(period_count):
+        base = p * period_length
+        task_specs: list[TaskSpec] = []
+        message_specs: list[MessageSpec] = []
+        for i, task in enumerate(tasks):
+            start = base + 3.0 * i
+            task_specs.append((task, start, start + 1.0))
+            if i + 1 < task_count:
+                message_specs.append((f"m{p}_{i}", start + 1.1, start + 1.5))
+        periods.append((task_specs, message_specs))
+    return build_trace(tasks, periods)
+
+
+def alternating_branch_trace(period_count: int = 6) -> Trace:
+    """A source alternately triggering one of two branches into a sink.
+
+    ``src`` sends to ``a`` on even periods and ``b`` on odd periods; the
+    chosen branch task forwards to ``sink``. Exercises the ``→?``/``←?``
+    probable-dependency values.
+    """
+    tasks = ["src", "a", "b", "sink"]
+    periods = []
+    for p in range(period_count):
+        base = p * 100.0
+        branch = "a" if p % 2 == 0 else "b"
+        task_specs = [
+            ("src", base, base + 1.0),
+            (branch, base + 2.0, base + 3.0),
+            ("sink", base + 4.5, base + 5.5),
+        ]
+        message_specs = [
+            (f"m{p}_0", base + 1.1, base + 1.4),
+            (f"m{p}_1", base + 3.1, base + 3.4),
+        ]
+        periods.append((task_specs, message_specs))
+    return build_trace(tasks, periods)

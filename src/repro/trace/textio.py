@@ -1,0 +1,140 @@
+"""Textual trace log format: what a logging device would dump.
+
+The format is line-oriented and human-inspectable, one event per line::
+
+    # comment
+    tasks t1 t2 t3 t4
+    period 0
+    0.000 task_start t1
+    2.000 task_end t1
+    2.100 msg_rise m1
+    2.500 msg_fall m1
+    ...
+    period 1
+    ...
+
+* a single ``tasks`` header declares the task universe;
+* each ``period N`` header starts a new period (indices must be
+  consecutive from 0);
+* event lines are ``<time> <kind> <subject>`` with kind one of
+  ``task_start``, ``task_end``, ``msg_rise``, ``msg_fall``;
+* blank lines and ``#`` comments are ignored.
+
+Round-tripping is exact up to float formatting precision (9 significant
+digits by default).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from repro.errors import TraceParseError
+from repro.trace.events import Event, EventKind
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+_KINDS = {kind.value: kind for kind in EventKind}
+
+
+def dump_trace(trace: Trace, stream: TextIO, precision: int = 9) -> None:
+    """Write *trace* to *stream* in the textual log format."""
+    stream.write("# repro trace log\n")
+    stream.write("tasks " + " ".join(trace.tasks) + "\n")
+    for period in trace.periods:
+        stream.write(f"period {period.index}\n")
+        for event in period.events:
+            stream.write(
+                f"{event.time:.{precision}g} {event.kind.value} {event.subject}\n"
+            )
+
+
+def dumps_trace(trace: Trace, precision: int = 9) -> str:
+    """Serialize *trace* to a string in the textual log format."""
+    buffer = io.StringIO()
+    dump_trace(trace, buffer, precision)
+    return buffer.getvalue()
+
+
+def load_trace(stream: TextIO) -> Trace:
+    """Parse a trace from the textual log format.
+
+    Raises :class:`~repro.errors.TraceParseError` with a line number on any
+    malformed input.
+    """
+    tasks: tuple[str, ...] | None = None
+    period_events: list[list[Event]] = []
+    current: list[Event] | None = None
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if fields[0] == "tasks":
+            if tasks is not None:
+                raise TraceParseError("duplicate tasks header", line_number)
+            if len(fields) < 2:
+                raise TraceParseError("tasks header names no tasks", line_number)
+            tasks = tuple(fields[1:])
+            continue
+        if fields[0] == "period":
+            if len(fields) != 2:
+                raise TraceParseError("malformed period header", line_number)
+            try:
+                index = int(fields[1])
+            except ValueError:
+                raise TraceParseError(
+                    f"period index is not an integer: {fields[1]!r}", line_number
+                ) from None
+            if index != len(period_events):
+                raise TraceParseError(
+                    f"period indices must be consecutive; expected "
+                    f"{len(period_events)}, got {index}",
+                    line_number,
+                )
+            current = []
+            period_events.append(current)
+            continue
+        # Event line.
+        if tasks is None:
+            raise TraceParseError("event before tasks header", line_number)
+        if current is None:
+            raise TraceParseError("event before first period header", line_number)
+        if len(fields) != 3:
+            raise TraceParseError(
+                f"expected '<time> <kind> <subject>', got {line!r}", line_number
+            )
+        time_text, kind_text, subject = fields
+        try:
+            time = float(time_text)
+        except ValueError:
+            raise TraceParseError(
+                f"event time is not a number: {time_text!r}", line_number
+            ) from None
+        kind = _KINDS.get(kind_text)
+        if kind is None:
+            raise TraceParseError(
+                f"unknown event kind: {kind_text!r}", line_number
+            )
+        current.append(Event(time, kind, subject))
+    if tasks is None:
+        raise TraceParseError("trace has no tasks header")
+    periods = [Period(events, index=i) for i, events in enumerate(period_events)]
+    return Trace(tasks, periods)
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse a trace from a string in the textual log format."""
+    return load_trace(io.StringIO(text))
+
+
+def save_trace(trace: Trace, path: str, precision: int = 9) -> None:
+    """Write *trace* to the file at *path*."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_trace(trace, stream, precision)
+
+
+def read_trace(path: str) -> Trace:
+    """Read a trace from the file at *path*."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_trace(stream)

@@ -1,0 +1,128 @@
+"""Traces: ordered collections of periods with a shared task universe.
+
+The trace is the learner's input ``I``; its periods are the instances. The
+task universe ``T`` is the set of predefined tasks — it may be larger than
+the set of tasks actually observed (a task might never run in the logged
+window), so :class:`Trace` carries it explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import TraceError
+from repro.trace.events import Event
+from repro.trace.period import Period
+
+
+class Trace:
+    """An execution trace: the task universe plus a sequence of periods."""
+
+    __slots__ = ("_tasks", "_periods")
+
+    def __init__(self, tasks: Iterable[str], periods: Sequence[Period]):
+        self._tasks = tuple(tasks)
+        if len(set(self._tasks)) != len(self._tasks):
+            raise TraceError("duplicate task names in trace universe")
+        universe = set(self._tasks)
+        for period in periods:
+            unknown = period.executed_tasks - universe
+            if unknown:
+                raise TraceError(
+                    f"period {period.index} executes tasks outside the "
+                    f"declared universe: {sorted(unknown)}"
+                )
+        self._periods = tuple(periods)
+
+    @classmethod
+    def from_event_periods(
+        cls, tasks: Iterable[str], event_periods: Sequence[Sequence[Event]]
+    ) -> "Trace":
+        """Build a trace from per-period raw event lists."""
+        periods = [
+            Period(events, index=i) for i, events in enumerate(event_periods)
+        ]
+        return cls(tasks, periods)
+
+    @classmethod
+    def from_events(
+        cls,
+        tasks: Iterable[str],
+        events: Iterable[Event],
+        period_length: float,
+    ) -> "Trace":
+        """Segment a flat event stream into fixed-length periods.
+
+        Events are assigned to period ``floor(time / period_length)``. This
+        mirrors the logging device: it records one long stream, and the
+        analyst segments it by the known system period. An event stream in
+        which a task or message straddles a boundary raises
+        :class:`~repro.errors.TraceError` during period assembly.
+        """
+        if period_length <= 0:
+            raise TraceError("period_length must be positive")
+        buckets: dict[int, list[Event]] = {}
+        for event in events:
+            buckets.setdefault(int(event.time // period_length), []).append(event)
+        if not buckets:
+            return cls(tasks, [])
+        periods = [
+            Period(buckets[key], index=i)
+            for i, key in enumerate(sorted(buckets))
+        ]
+        return cls(tasks, periods)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def tasks(self) -> tuple[str, ...]:
+        """The declared task universe ``T``."""
+        return self._tasks
+
+    @property
+    def periods(self) -> tuple[Period, ...]:
+        return self._periods
+
+    def __len__(self) -> int:
+        return len(self._periods)
+
+    def __iter__(self) -> Iterator[Period]:
+        return iter(self._periods)
+
+    def __getitem__(self, index: int) -> Period:
+        return self._periods[index]
+
+    def message_count(self) -> int:
+        """Total message occurrences across all periods (the paper's ``m``)."""
+        return sum(len(p.messages) for p in self._periods)
+
+    def event_count(self) -> int:
+        """Total number of raw events."""
+        return sum(len(p) for p in self._periods)
+
+    def observed_tasks(self) -> frozenset[str]:
+        """Tasks that executed at least once."""
+        observed: set[str] = set()
+        for period in self._periods:
+            observed |= period.executed_tasks
+        return frozenset(observed)
+
+    def subtrace(self, count: int) -> "Trace":
+        """A trace containing only the first *count* periods."""
+        return Trace(self._tasks, self._periods[:count])
+
+    def extended(self, periods: Sequence[Period]) -> "Trace":
+        """A new trace with *periods* appended (re-indexed)."""
+        merged = list(self._periods)
+        base = len(merged)
+        for offset, period in enumerate(periods):
+            merged.append(Period(period.events, index=base + offset))
+        return Trace(self._tasks, merged)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(tasks={len(self._tasks)}, periods={len(self._periods)}, "
+            f"messages={self.message_count()})"
+        )

@@ -1,0 +1,182 @@
+"""Trace validation against the paper's model-of-computation assumptions.
+
+:class:`Period` construction already rejects structurally broken periods
+(unpaired events, double execution). This module adds the cross-event
+checks an analyst runs before trusting a logged trace:
+
+* every message lies between some possible sender's end and some possible
+  receiver's start (otherwise the learner's hypothesis space empties);
+* periods do not overlap in time;
+* message durations are positive and plausible.
+
+Validation returns a list of :class:`Diagnostic` records rather than
+raising, so a harness can report every problem at once; ``strict=True``
+raises on the first error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.trace.trace import Trace
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    severity: Severity
+    period: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] period {self.period}: {self.message}"
+
+
+def validate_trace(
+    trace: Trace, tolerance: float = 0.0, strict: bool = False
+) -> list[Diagnostic]:
+    """Check *trace* against the MOC assumptions.
+
+    Returns all diagnostics found; with ``strict=True`` the first ERROR is
+    raised as :class:`~repro.errors.TraceError` instead.
+    """
+    # Imported here to avoid a package-level cycle: repro.core depends on
+    # the trace data model, and this validator borrows the learner's
+    # temporal-candidate primitives.
+    from repro.core.candidates import possible_receivers, possible_senders
+
+    diagnostics: list[Diagnostic] = []
+
+    def report(severity: Severity, period: int, text: str) -> None:
+        diagnostic = Diagnostic(severity, period, text)
+        if strict and severity is Severity.ERROR:
+            raise TraceError(str(diagnostic))
+        diagnostics.append(diagnostic)
+
+    previous_end: float | None = None
+    for period in trace.periods:
+        if not period.executions and period.messages:
+            report(
+                Severity.ERROR,
+                period.index,
+                "messages observed but no task executed",
+            )
+        if previous_end is not None and period.events:
+            if period.start_time() < previous_end:
+                report(
+                    Severity.ERROR,
+                    period.index,
+                    f"period starts at {period.start_time()} before the "
+                    f"previous period ended at {previous_end}",
+                )
+        if period.events:
+            previous_end = period.end_time()
+        for occurrence in period.messages:
+            senders = possible_senders(period.executions, occurrence, tolerance)
+            receivers = possible_receivers(period.executions, occurrence, tolerance)
+            pairs = [(s, r) for s in senders for r in receivers if s != r]
+            if not pairs:
+                report(
+                    Severity.ERROR,
+                    period.index,
+                    f"message {occurrence.label} has no possible "
+                    "sender-receiver pair (violates the control-flow MOC)",
+                )
+            elif len(pairs) == 1:
+                report(
+                    Severity.WARNING,
+                    period.index,
+                    f"message {occurrence.label} has a unique sender-receiver "
+                    f"pair {pairs[0]} (fully determined)",
+                )
+            if occurrence.duration == 0:
+                report(
+                    Severity.WARNING,
+                    period.index,
+                    f"message {occurrence.label} has zero transmission time",
+                )
+    never_ran = set(trace.tasks) - trace.observed_tasks()
+    if never_ran:
+        diagnostics.append(
+            Diagnostic(
+                Severity.WARNING,
+                -1,
+                f"tasks never observed executing: {sorted(never_ran)}",
+            )
+        )
+    return diagnostics
+
+
+def assert_valid(trace: Trace, tolerance: float = 0.0) -> None:
+    """Raise :class:`~repro.errors.TraceError` on the first ERROR finding."""
+    validate_trace(trace, tolerance, strict=True)
+
+
+@dataclass(frozen=True)
+class AmbiguityReport:
+    """How informative a trace's timing is for the learner.
+
+    Every message's candidate set `A_m` sizes, aggregated. A mean near 1
+    means the timing almost uniquely determines senders and receivers
+    (learning converges fast); a mean near ``tasks²`` means the windows
+    are so wide the learner can only produce a very general model.
+    """
+
+    message_count: int
+    task_count: int
+    mean_candidates: float
+    max_candidates: int
+    determined_messages: int  # |A_m| == 1
+
+    @property
+    def determinism_ratio(self) -> float:
+        """Fraction of messages whose pair is uniquely determined."""
+        if self.message_count == 0:
+            return 1.0
+        return self.determined_messages / self.message_count
+
+    @property
+    def saturation(self) -> float:
+        """Mean candidates relative to the theoretical maximum."""
+        maximum = self.task_count * (self.task_count - 1)
+        if maximum == 0:
+            return 0.0
+        return self.mean_candidates / maximum
+
+    def __str__(self) -> str:
+        return (
+            f"{self.message_count} messages: mean |A_m| = "
+            f"{self.mean_candidates:.1f} (max {self.max_candidates}, "
+            f"{self.determinism_ratio:.0%} fully determined, "
+            f"saturation {self.saturation:.0%})"
+        )
+
+
+def ambiguity_report(trace: Trace, tolerance: float = 0.0) -> AmbiguityReport:
+    """Aggregate candidate-set sizes over every message of *trace*."""
+    from repro.core.candidates import candidate_pairs
+
+    sizes: list[int] = []
+    for period in trace.periods:
+        for message in period.messages:
+            sizes.append(len(candidate_pairs(period, message, tolerance)))
+    if not sizes:
+        return AmbiguityReport(0, len(trace.tasks), 0.0, 0, 0)
+    return AmbiguityReport(
+        message_count=len(sizes),
+        task_count=len(trace.tasks),
+        mean_candidates=sum(sizes) / len(sizes),
+        max_candidates=max(sizes),
+        determined_messages=sum(1 for size in sizes if size == 1),
+    )

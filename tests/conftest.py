@@ -1,0 +1,50 @@
+"""Shared fixtures: reference traces, designs, and learned results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.learner import learn_dependencies
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.examples import simple_four_task_design
+from repro.systems.gm import gm_case_study_design
+from repro.trace.synthetic import paper_figure2_trace
+
+
+@pytest.fixture(scope="session")
+def paper_trace():
+    """The hand-built Figure 2 trace."""
+    return paper_figure2_trace()
+
+
+@pytest.fixture(scope="session")
+def paper_exact_result(paper_trace):
+    """Exact learning result on the Figure 2 trace (5 hypotheses)."""
+    return learn_dependencies(paper_trace)
+
+
+@pytest.fixture(scope="session")
+def simple_design():
+    return simple_four_task_design()
+
+
+@pytest.fixture(scope="session")
+def gm_design():
+    return gm_case_study_design()
+
+
+@pytest.fixture(scope="session")
+def gm_run(gm_design):
+    """A small (8-period) GM simulation for fast integration tests."""
+    simulator = Simulator(
+        gm_design, SimulatorConfig(period_length=100.0), seed=11
+    )
+    return simulator.run(8)
+
+
+@pytest.fixture(scope="session")
+def simple_run(simple_design):
+    simulator = Simulator(
+        simple_design, SimulatorConfig(period_length=50.0), seed=5
+    )
+    return simulator.run(15)

@@ -1,0 +1,84 @@
+"""Property-based tests: dependency functions form a pointwise lattice."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import ALL_VALUES, PARALLEL
+
+TASKS = ("a", "b", "c")
+PAIRS = [(x, y) for x in TASKS for y in TASKS if x != y]
+
+
+@st.composite
+def functions(draw):
+    entries = {}
+    for pair in PAIRS:
+        value = draw(st.sampled_from(ALL_VALUES))
+        if value is not PARALLEL:
+            entries[pair] = value
+    return DependencyFunction(TASKS, entries)
+
+
+@given(functions(), functions())
+def test_lub_is_upper_bound(f, g):
+    join = f.lub(g)
+    assert f.leq(join) and g.leq(join)
+
+
+@given(functions(), functions())
+def test_lub_commutative(f, g):
+    assert f.lub(g) == g.lub(f)
+
+
+@given(functions(), functions(), functions())
+def test_lub_associative(f, g, h):
+    assert f.lub(g).lub(h) == f.lub(g.lub(h))
+
+
+@given(functions(), functions())
+def test_glb_is_lower_bound(f, g):
+    meet = f.glb(g)
+    assert meet.leq(f) and meet.leq(g)
+
+
+@given(functions())
+def test_order_reflexive(f):
+    assert f.leq(f)
+
+
+@given(functions(), functions())
+def test_order_antisymmetric(f, g):
+    if f.leq(g) and g.leq(f):
+        assert f == g
+
+
+@given(functions(), functions(), functions())
+def test_order_transitive(f, g, h):
+    if f.leq(g) and g.leq(h):
+        assert f.leq(h)
+
+
+@given(functions(), functions())
+def test_weight_monotone_under_order(f, g):
+    if f.leq(g):
+        assert f.weight() <= g.weight()
+
+
+@given(functions())
+def test_bottom_and_top_bracket_everything(f):
+    assert DependencyFunction.bottom(TASKS).leq(f)
+    assert f.leq(DependencyFunction.top(TASKS))
+
+
+@given(functions(), functions())
+def test_lub_weight_at_least_parts(f, g):
+    join = f.lub(g)
+    assert join.weight() >= max(f.weight(), g.weight())
+
+
+@given(functions())
+def test_hash_consistent_with_equality(f):
+    copy = DependencyFunction(TASKS, f.to_dict())
+    assert copy == f
+    assert hash(copy) == hash(f)

@@ -1,0 +1,68 @@
+"""Property-based tests: the value lattice satisfies the lattice laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import lattice
+from repro.core.lattice import ALL_VALUES
+
+values = st.sampled_from(ALL_VALUES)
+
+
+@given(values, values)
+def test_lub_commutative(a, b):
+    assert lattice.lub(a, b) is lattice.lub(b, a)
+
+
+@given(values, values, values)
+def test_lub_associative(a, b, c):
+    assert lattice.lub(lattice.lub(a, b), c) is lattice.lub(
+        a, lattice.lub(b, c)
+    )
+
+
+@given(values)
+def test_lub_idempotent(a):
+    assert lattice.lub(a, a) is a
+
+
+@given(values, values)
+def test_glb_commutative(a, b):
+    assert lattice.glb(a, b) is lattice.glb(b, a)
+
+
+@given(values, values, values)
+def test_glb_associative(a, b, c):
+    assert lattice.glb(lattice.glb(a, b), c) is lattice.glb(
+        a, lattice.glb(b, c)
+    )
+
+
+@given(values, values)
+def test_absorption(a, b):
+    assert lattice.lub(a, lattice.glb(a, b)) is a
+    assert lattice.glb(a, lattice.lub(a, b)) is a
+
+
+@given(values, values)
+def test_connecting_lemma(a, b):
+    # a <= b iff lub(a, b) == b iff glb(a, b) == a.
+    assert lattice.leq(a, b) == (lattice.lub(a, b) is b)
+    assert lattice.leq(a, b) == (lattice.glb(a, b) is a)
+
+
+@given(values, values, values)
+def test_lub_monotone(a, b, c):
+    if lattice.leq(a, b):
+        assert lattice.leq(lattice.lub(a, c), lattice.lub(b, c))
+
+
+@given(values)
+def test_mirror_preserves_order_structure(a):
+    for b in ALL_VALUES:
+        assert lattice.leq(a, b) == lattice.leq(a.mirror, b.mirror)
+
+
+@given(values)
+def test_distance_zero_only_at_bottom(a):
+    assert (lattice.distance(a) == 0) == (a is lattice.PARALLEL)

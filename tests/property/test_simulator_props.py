@@ -1,0 +1,95 @@
+"""Property-based tests: simulator invariants over random designs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.random_gen import RandomDesignConfig, random_design
+from repro.trace.validate import Severity, validate_trace
+
+CONFIG = RandomDesignConfig(
+    task_count=7, ecu_count=3, layer_count=3, disjunction_probability=0.3
+)
+PERIOD_LENGTH = 150.0
+
+
+def run(seed: int, periods: int = 4):
+    design = random_design(CONFIG, seed=seed)
+    simulator = Simulator(
+        design, SimulatorConfig(period_length=PERIOD_LENGTH), seed=seed
+    )
+    return design, simulator.run(periods)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 400))
+def test_traces_validate_clean(seed):
+    _design, result = run(seed)
+    errors = [
+        d
+        for d in validate_trace(result.trace)
+        if d.severity is Severity.ERROR
+    ]
+    assert errors == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 400))
+def test_causality_of_every_logged_message(seed):
+    _design, result = run(seed)
+    for truth in result.logger.ground_truth:
+        period = result.trace[truth.period_index]
+        assert period.execution_of(truth.sender).end <= truth.rise + 1e-9
+        assert period.execution_of(truth.receiver).start >= truth.fall - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 400))
+def test_executions_match_plans(seed):
+    _design, result = run(seed)
+    for plan, period in zip(result.plans, result.trace.periods):
+        assert period.executed_tasks == plan.executing
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 400))
+def test_one_running_task_per_ecu(seed):
+    design, result = run(seed)
+    for period in result.trace.periods:
+        by_ecu: dict[str, list] = {}
+        for execution in period.executions:
+            by_ecu.setdefault(design.task(execution.task).ecu, []).append(
+                execution
+            )
+        # Execution windows include preemption gaps, so windows on one ECU
+        # may nest but two tasks can never *start* inside each other's
+        # window while both end outside (impossible under preemptive FP).
+        for executions in by_ecu.values():
+            executions.sort(key=lambda e: e.start)
+            for first, second in zip(executions, executions[1:]):
+                if second.start < first.end:
+                    # second preempts first: it must finish within first's
+                    # window (nested), not straddle it.
+                    assert second.end <= first.end + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 400))
+def test_messages_within_period_bounds(seed):
+    _design, result = run(seed)
+    for index, period in enumerate(result.trace.periods):
+        low = index * PERIOD_LENGTH
+        high = (index + 1) * PERIOD_LENGTH
+        for message in period.messages:
+            assert low <= message.rise <= message.fall <= high
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 400))
+def test_bus_transmissions_never_overlap(seed):
+    _design, result = run(seed)
+    events = sorted(
+        (g.rise, g.fall) for g in result.logger.ground_truth
+    )
+    for (rise_a, fall_a), (rise_b, _fall_b) in zip(events, events[1:]):
+        assert rise_b >= fall_a - 1e-9

@@ -1,0 +1,49 @@
+"""Property-based tests: trace serialization round-trips exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.random_gen import RandomDesignConfig, random_design
+from repro.trace.csvio import dumps_csv, loads_csv
+from repro.trace.textio import dumps_trace, loads_trace
+
+CONFIG = RandomDesignConfig(task_count=6, ecu_count=2, layer_count=3)
+
+
+def simulated_trace(seed: int):
+    design = random_design(CONFIG, seed=seed)
+    return Simulator(
+        design, SimulatorConfig(period_length=120.0), seed=seed
+    ).run(3).trace
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 300))
+def test_textio_roundtrip(seed):
+    original = simulated_trace(seed)
+    recovered = loads_trace(dumps_trace(original, precision=17))
+    assert recovered.tasks == original.tasks
+    assert len(recovered) == len(original)
+    for a, b in zip(original.periods, recovered.periods):
+        assert a.events == b.events
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 300))
+def test_csvio_roundtrip(seed):
+    original = simulated_trace(seed)
+    recovered = loads_csv(dumps_csv(original), tasks=original.tasks)
+    assert recovered.tasks == original.tasks
+    for a, b in zip(original.periods, recovered.periods):
+        assert a.events == b.events
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 300))
+def test_formats_agree(seed):
+    original = simulated_trace(seed)
+    via_text = loads_trace(dumps_trace(original, precision=17))
+    via_csv = loads_csv(dumps_csv(original), tasks=original.tasks)
+    for a, b in zip(via_text.periods, via_csv.periods):
+        assert a.events == b.events

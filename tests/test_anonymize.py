@@ -1,0 +1,86 @@
+"""Unit tests for trace anonymization."""
+
+import pytest
+
+from repro.core.learner import learn_dependencies
+from repro.errors import TraceError
+from repro.trace.anonymize import anonymize_trace, letter_names
+from repro.trace.synthetic import paper_figure2_trace
+
+
+class TestLetterNames:
+    def test_first_letters(self):
+        assert letter_names(4) == ["A", "B", "C", "D"]
+
+    def test_wraps_past_z(self):
+        names = letter_names(28)
+        assert names[25] == "Z"
+        assert names[26] == "AA"
+        assert names[27] == "AB"
+
+    def test_unique(self):
+        names = letter_names(100)
+        assert len(set(names)) == 100
+
+
+class TestAnonymize:
+    def test_basic(self):
+        original = paper_figure2_trace()
+        result = anonymize_trace(original)
+        assert set(result.trace.tasks) == {"A", "B", "C", "D"}
+        assert result.mapping["t1"] == "A"
+        assert result.deanonymize_task("A") == "t1"
+
+    def test_structure_preserved(self):
+        original = paper_figure2_trace()
+        result = anonymize_trace(original)
+        assert len(result.trace) == len(original)
+        assert result.trace.message_count() == original.message_count()
+        for a, b in zip(original.periods, result.trace.periods):
+            assert len(a.executions) == len(b.executions)
+            assert [m.label for m in a.messages] == [
+                m.label for m in b.messages
+            ]
+
+    def test_learning_equivalent_up_to_renaming(self):
+        original = paper_figure2_trace()
+        result = anonymize_trace(original)
+        learned_original = learn_dependencies(original).lub()
+        learned_anonymous = learn_dependencies(result.trace).lub()
+        for a in original.tasks:
+            for b in original.tasks:
+                assert learned_original.value(a, b) is (
+                    learned_anonymous.value(
+                        result.mapping[a], result.mapping[b]
+                    )
+                )
+
+    def test_keep_list(self):
+        original = paper_figure2_trace()
+        result = anonymize_trace(original, keep=["t4"])
+        assert result.mapping["t4"] == "t4"
+        assert "t4" in result.trace.tasks
+        assert set(result.trace.tasks) - {"t4"} == {"A", "B", "C"}
+
+    def test_keep_unknown_rejected(self):
+        with pytest.raises(TraceError, match="unknown"):
+            anonymize_trace(paper_figure2_trace(), keep=["ghost"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TraceError, match="duplicate"):
+            anonymize_trace(
+                paper_figure2_trace(), name_source=lambda n: ["X"] * n
+            )
+
+    def test_collision_with_kept_rejected(self):
+        with pytest.raises(TraceError, match="collide"):
+            anonymize_trace(
+                paper_figure2_trace(),
+                name_source=lambda n: ["t4", "Y", "Z"][:n],
+                keep=["t4"],
+            )
+
+    def test_deanonymize_unknown(self):
+        result = anonymize_trace(paper_figure2_trace())
+        with pytest.raises(TraceError):
+            result.deanonymize_task("ZZ")

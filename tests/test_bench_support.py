@@ -1,0 +1,74 @@
+"""Unit tests for the benchmark support package."""
+
+import pytest
+
+from repro.bench.harness import measure, sweep
+from repro.bench.reporting import format_series, format_table, shape_check
+from repro.bench.workloads import gm_workload, scaling_workload, simple_workload
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["bound", "seconds"],
+            [[1, 0.5], [150, 12.345678]],
+            title="demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "bound" in lines[1]
+        assert "12.346" in table  # floats rendered at 3 decimals
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        text = format_series("runtime", [(1, 0.1), (2, 0.2)])
+        assert "runtime" in text
+        assert "0.200" in text
+
+    def test_shape_check(self):
+        assert shape_check([1, 2, 3], "increasing")
+        assert not shape_check([1, 1, 3], "increasing")
+        assert shape_check([1, 1, 3], "nondecreasing")
+        assert shape_check([3, 2, 1], "decreasing")
+        assert shape_check([3, 3, 1], "nonincreasing")
+
+    def test_shape_check_unknown(self):
+        with pytest.raises(ValueError):
+            shape_check([1], "wavy")
+
+
+class TestHarness:
+    def test_measure(self):
+        measurement = measure("demo", lambda: 42)
+        assert measurement.value == 42
+        assert measurement.seconds >= 0
+        assert "demo" in str(measurement)
+
+    def test_sweep(self):
+        measurements = sweep("square", [2, 3], lambda p: p * p)
+        assert [m.value for m in measurements] == [4, 9]
+        assert measurements[0].label == "square[2]"
+
+
+class TestWorkloads:
+    def test_gm_workload_scale(self):
+        workload = gm_workload(periods=5)
+        assert workload.name == "gm"
+        assert len(workload.trace) == 5
+        assert len(workload.trace.tasks) == 18
+
+    def test_workloads_cached(self):
+        assert gm_workload(periods=5) is gm_workload(periods=5)
+
+    def test_simple_workload(self):
+        workload = simple_workload(periods=4)
+        assert set(workload.trace.tasks) == {"t1", "t2", "t3", "t4"}
+
+    def test_scaling_workload_sizes(self):
+        for count in (6, 12):
+            workload = scaling_workload(count, periods=3)
+            assert len(workload.design) == count
+            assert len(workload.trace) == 3

@@ -1,0 +1,94 @@
+"""Unit tests for the design builder."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.systems.builder import DesignBuilder
+from repro.systems.model import BranchMode
+
+
+class TestBuilder:
+    def test_basic_chain(self):
+        design = (
+            DesignBuilder()
+            .source("a", wcet=2.0)
+            .task("b")
+            .message("a", "b")
+            .build()
+        )
+        assert design.task("a").is_source
+        assert design.task("a").wcet == 2.0
+        assert design.out_edges("a")[0].receiver == "b"
+
+    def test_bcet_defaults_to_wcet(self):
+        design = DesignBuilder().source("a", wcet=3.0).build()
+        assert design.task("a").bcet == 3.0
+
+    def test_branch_sets_mode(self):
+        design = (
+            DesignBuilder()
+            .source("a")
+            .task("b")
+            .task("c")
+            .branch("a", ["b", "c"], mode=BranchMode.EXACTLY_ONE)
+            .build()
+        )
+        assert design.task("a").branch_mode is BranchMode.EXACTLY_ONE
+        assert all(e.conditional for e in design.out_edges("a"))
+
+    def test_branch_rejects_none_mode(self):
+        with pytest.raises(ModelError):
+            DesignBuilder().branch("a", ["b"], mode=BranchMode.NONE)
+
+    def test_conflicting_modes_rejected(self):
+        builder = (
+            DesignBuilder()
+            .source("a")
+            .task("b")
+            .task("c")
+            .branch("a", ["b"], mode=BranchMode.EXACTLY_ONE)
+        )
+        with pytest.raises(ModelError, match="conflicting"):
+            builder.branch("a", ["c"], mode=BranchMode.AT_LEAST_ONE)
+
+    def test_same_mode_branch_calls_merge(self):
+        design = (
+            DesignBuilder()
+            .source("a")
+            .task("b")
+            .task("c")
+            .branch("a", ["b"], mode=BranchMode.AT_LEAST_ONE)
+            .branch("a", ["c"], mode=BranchMode.AT_LEAST_ONE)
+            .build()
+        )
+        assert len(design.conditional_out_edges("a")) == 2
+
+    def test_branch_mode_for_undeclared_task_rejected(self):
+        builder = DesignBuilder().source("a").task("b")
+        builder.branch("ghost", ["b"], mode=BranchMode.EXACTLY_ONE)
+        with pytest.raises(ModelError):
+            builder.build()
+
+    def test_frame_priorities_default_to_declaration_order(self):
+        design = (
+            DesignBuilder()
+            .source("a")
+            .task("b")
+            .task("c")
+            .message("a", "b")
+            .message("a", "c")
+            .build()
+        )
+        priorities = [e.frame_priority for e in design.edges]
+        assert priorities == sorted(priorities)
+        assert len(set(priorities)) == len(priorities)
+
+    def test_explicit_frame_priority(self):
+        design = (
+            DesignBuilder()
+            .source("a")
+            .task("b")
+            .message("a", "b", frame_priority=42)
+            .build()
+        )
+        assert design.edges[0].frame_priority == 42

@@ -1,0 +1,102 @@
+"""Unit tests for the CAN bus model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.can import CanBus, Frame
+
+
+def frame(sender="a", receiver="b", priority=1, at=0.0):
+    return Frame(sender=sender, receiver=receiver, priority=priority, enqueued_at=at)
+
+
+class TestTransmission:
+    def test_single_frame(self):
+        bus = CanBus(frame_time=0.5, inter_frame_gap=0.0)
+        bus.enqueue(0.0, frame())
+        assert bus.next_completion_time() == 0.5
+        transmission = bus.advance(0.5)
+        assert transmission is not None
+        assert transmission.rise == 0.0
+        assert transmission.fall == 0.5
+        assert transmission.frame.sender == "a"
+        assert not bus.busy
+
+    def test_nonpreemptive(self):
+        bus = CanBus(frame_time=1.0, inter_frame_gap=0.0)
+        bus.enqueue(0.0, frame(priority=5))
+        bus.enqueue(0.1, frame(sender="x", receiver="y", priority=0, at=0.1))
+        # The low-identifier frame arrived mid-transmission: it must wait.
+        first = bus.advance(1.0)
+        assert first.frame.sender == "a"
+        second = bus.advance(2.0)
+        assert second.frame.sender == "x"
+
+    def test_priority_arbitration_when_idle(self):
+        bus = CanBus(frame_time=1.0, inter_frame_gap=0.0)
+        bus.enqueue(0.0, frame(sender="slow", priority=7))
+        # Current transmission: "slow" started immediately. Queue two more.
+        bus.enqueue(0.2, frame(sender="hi", receiver="y", priority=1, at=0.2))
+        bus.enqueue(0.3, frame(sender="mid", receiver="z", priority=3, at=0.3))
+        assert bus.advance(1.0).frame.sender == "slow"
+        assert bus.advance(2.0).frame.sender == "hi"
+        assert bus.advance(3.0).frame.sender == "mid"
+
+    def test_inter_frame_gap(self):
+        bus = CanBus(frame_time=1.0, inter_frame_gap=0.5)
+        bus.enqueue(0.0, frame(priority=1))
+        bus.enqueue(0.0, frame(sender="x", receiver="y", priority=2))
+        first = bus.advance(1.0)
+        assert first.fall == 1.0
+        second_fall = bus.next_completion_time()
+        assert second_fall == pytest.approx(2.5)  # 1.0 + gap + frame_time
+
+    def test_idle_bus_starts_late_frame_at_enqueue(self):
+        bus = CanBus(frame_time=1.0, inter_frame_gap=0.0)
+        bus.enqueue(5.0, frame(at=5.0))
+        transmission = bus.advance(6.0)
+        assert transmission.rise == 5.0
+
+    def test_tie_broken_by_enqueue_order(self):
+        bus = CanBus(frame_time=1.0, inter_frame_gap=0.0)
+        bus.enqueue(0.0, frame(sender="blocker", priority=0))
+        bus.enqueue(0.1, frame(sender="first", receiver="y", priority=5, at=0.1))
+        bus.enqueue(0.2, frame(sender="second", receiver="z", priority=5, at=0.2))
+        bus.advance(1.0)
+        assert bus.advance(2.0).frame.sender == "first"
+
+    def test_advance_mid_transmission_returns_none(self):
+        bus = CanBus(frame_time=1.0, inter_frame_gap=0.0)
+        bus.enqueue(0.0, frame())
+        assert bus.advance(0.5) is None
+        assert bus.busy
+
+
+class TestValidation:
+    def test_bad_frame_time(self):
+        with pytest.raises(SimulationError):
+            CanBus(frame_time=0.0)
+
+    def test_bad_gap(self):
+        with pytest.raises(SimulationError):
+            CanBus(frame_time=1.0, inter_frame_gap=-1.0)
+
+    def test_reset_with_pending_rejected(self):
+        bus = CanBus(frame_time=1.0)
+        bus.enqueue(0.0, frame())
+        with pytest.raises(SimulationError, match="reset"):
+            bus.reset(10.0)
+
+    def test_reset_when_idle(self):
+        bus = CanBus(frame_time=1.0, inter_frame_gap=0.0)
+        bus.enqueue(0.0, frame())
+        bus.advance(1.0)
+        bus.reset(10.0)
+        bus.enqueue(10.0, frame(at=10.0))
+        assert bus.next_completion_time() == 11.0
+
+    def test_queue_length(self):
+        bus = CanBus(frame_time=1.0, inter_frame_gap=0.0)
+        bus.enqueue(0.0, frame(priority=1))
+        bus.enqueue(0.0, frame(sender="x", receiver="y", priority=2))
+        assert bus.queue_length() == 1  # one transmitting, one queued

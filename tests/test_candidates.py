@@ -1,0 +1,83 @@
+"""Unit tests for temporal sender/receiver candidate computation."""
+
+from repro.core.candidates import (
+    candidate_pairs,
+    period_candidates,
+    possible_receivers,
+    possible_senders,
+)
+from repro.trace.synthetic import build_period
+
+
+def make_period():
+    # a: [0, 1], b: [2, 3], c: [4, 5]; message between a and b.
+    return build_period(
+        [("a", 0.0, 1.0), ("b", 2.0, 3.0), ("c", 4.0, 5.0)],
+        [("m", 1.2, 1.6)],
+    )
+
+
+class TestWindows:
+    def test_senders_finished_before_rise(self):
+        period = make_period()
+        message = period.messages[0]
+        assert possible_senders(period.executions, message) == ("a",)
+
+    def test_receivers_start_after_fall(self):
+        period = make_period()
+        message = period.messages[0]
+        assert possible_receivers(period.executions, message) == ("b", "c")
+
+    def test_candidate_pairs_cross_product_minus_self(self):
+        period = make_period()
+        message = period.messages[0]
+        assert candidate_pairs(period, message) == (("a", "b"), ("a", "c"))
+
+    def test_boundary_equality_included(self):
+        period = build_period(
+            [("a", 0.0, 1.0), ("b", 1.5, 2.0)], [("m", 1.0, 1.5)]
+        )
+        message = period.messages[0]
+        assert possible_senders(period.executions, message) == ("a",)
+        assert possible_receivers(period.executions, message) == ("b",)
+
+    def test_tolerance_widens_windows(self):
+        period = build_period(
+            [("a", 0.0, 1.05), ("b", 1.45, 2.0)], [("m", 1.0, 1.5)]
+        )
+        message = period.messages[0]
+        assert possible_senders(period.executions, message) == ()
+        assert possible_senders(period.executions, message, tolerance=0.1) == ("a",)
+        assert possible_receivers(period.executions, message) == ()
+        assert possible_receivers(period.executions, message, tolerance=0.1) == (
+            "b",
+        )
+
+    def test_self_pair_excluded(self):
+        # a both finishes before the rise and (hypothetically) starts after
+        # the fall is impossible for a single execution, but ensure the
+        # s != r filter holds when windows overlap via another task.
+        period = build_period(
+            [("a", 0.0, 1.0), ("b", 2.0, 3.0)], [("m", 1.1, 1.5)]
+        )
+        pairs = candidate_pairs(period, period.messages[0])
+        assert all(s != r for s, r in pairs)
+
+    def test_period_candidates_in_rise_order(self):
+        period = build_period(
+            [("a", 0.0, 1.0), ("b", 2.0, 3.0), ("c", 4.0, 5.0)],
+            [("late", 3.2, 3.6), ("early", 1.1, 1.5)],
+        )
+        listing = period_candidates(period)
+        assert [m.label for m, _ in listing] == ["early", "late"]
+        early_pairs = dict(listing)[period.messages[0]]
+        assert ("a", "b") in early_pairs
+
+    def test_overlapping_task_not_receiver(self):
+        # b starts before the message falls: cannot be its receiver.
+        period = build_period(
+            [("a", 0.0, 1.0), ("b", 1.2, 3.0), ("c", 4.0, 5.0)],
+            [("m", 1.1, 1.5)],
+        )
+        message = period.messages[0]
+        assert possible_receivers(period.executions, message) == ("c",)

@@ -1,0 +1,139 @@
+"""Unit tests for the candump-style CAN log adapter."""
+
+import pytest
+
+from repro.errors import TraceParseError
+from repro.trace.canlog import (
+    CanLogConfig,
+    canlog_to_events,
+    events_to_canlog,
+    parse_frame,
+)
+from repro.trace.events import EventKind
+
+CONFIG = CanLogConfig(
+    task_names={0x01: "t1", 0x02: "t2"},
+    start_id=0x700,
+    end_id=0x701,
+    bitrate=500_000.0,
+)
+
+
+class TestParseFrame:
+    def test_basic(self):
+        frame = parse_frame("(1.500000) can0 123#DEADBEEF")
+        assert frame.timestamp == 1.5
+        assert frame.channel == "can0"
+        assert frame.can_id == 0x123
+        assert frame.data == bytes.fromhex("DEADBEEF")
+
+    def test_empty_payload(self):
+        assert parse_frame("(0.0) can0 1FF#").data == b""
+
+    def test_bad_shape(self):
+        with pytest.raises(TraceParseError):
+            parse_frame("nonsense")
+
+    def test_bad_timestamp(self):
+        with pytest.raises(TraceParseError, match="timestamp"):
+            parse_frame("0.5 can0 123#00")
+        with pytest.raises(TraceParseError, match="bad timestamp"):
+            parse_frame("(zz) can0 123#00")
+
+    def test_bad_id(self):
+        with pytest.raises(TraceParseError, match="identifier"):
+            parse_frame("(0.0) can0 XYZ#00")
+
+    def test_bad_payload(self):
+        with pytest.raises(TraceParseError, match="hex"):
+            parse_frame("(0.0) can0 123#GG")
+
+    def test_missing_hash(self):
+        with pytest.raises(TraceParseError, match="id#data"):
+            parse_frame("(0.0) can0 123")
+
+
+class TestConversion:
+    def test_instrumentation_frames(self):
+        log = [
+            "(0.000000) can0 700#01",
+            "(0.002000) can0 701#01",
+        ]
+        events = canlog_to_events(log, CONFIG)
+        assert events[0].kind is EventKind.TASK_START
+        assert events[0].subject == "t1"
+        assert events[1].kind is EventKind.TASK_END
+
+    def test_data_frames_get_rise_and_fall(self):
+        log = ["(0.010000) can0 123#DEADBEEF"]
+        events = canlog_to_events(log, CONFIG)
+        assert [e.kind for e in events] == [
+            EventKind.MSG_RISE,
+            EventKind.MSG_FALL,
+        ]
+        rise, fall = events
+        assert rise.subject == fall.subject == "m1"
+        expected = (47 + 8 * 4) / 500_000.0
+        assert fall.time - rise.time == pytest.approx(expected)
+
+    def test_labels_unique(self):
+        log = [
+            "(0.01) can0 123#00",
+            "(0.02) can0 124#00",
+        ]
+        events = canlog_to_events(log, CONFIG)
+        labels = {e.subject for e in events}
+        assert labels == {"m1", "m2"}
+
+    def test_comments_and_blanks_skipped(self):
+        log = ["# comment", "", "(0.0) can0 700#01"]
+        assert len(canlog_to_events(log, CONFIG)) == 1
+
+    def test_unknown_task_id(self):
+        with pytest.raises(TraceParseError, match="unknown task id"):
+            canlog_to_events(["(0.0) can0 700#7F"], CONFIG)
+
+    def test_bad_instrumentation_payload(self):
+        with pytest.raises(TraceParseError, match="exactly one byte"):
+            canlog_to_events(["(0.0) can0 700#0102"], CONFIG)
+
+
+class TestRoundTrip:
+    def test_events_to_canlog_and_back(self):
+        log = [
+            "(0.000000) can0 700#01",
+            "(0.002000) can0 701#01",
+            "(0.002100) can0 123#00000000",
+            "(0.010000) can0 700#02",
+            "(0.012000) can0 701#02",
+        ]
+        events = canlog_to_events(log, CONFIG)
+        rendered = events_to_canlog(events, CONFIG, message_bytes=4)
+        recovered = canlog_to_events(rendered, CONFIG)
+        assert [
+            (e.kind, e.subject, round(e.time, 6)) for e in recovered
+        ] == [(e.kind, e.subject, round(e.time, 6)) for e in events]
+
+    def test_full_pipeline_learnable(self):
+        # task t1 runs, sends a frame, t2 runs: the learner should see
+        # the single (t1, t2) dependency.
+        log = [
+            "(0.000000) can0 700#01",
+            "(0.002000) can0 701#01",
+            "(0.002100) can0 123#AA",
+            "(0.004000) can0 700#02",
+            "(0.006000) can0 701#02",
+            "(1.000000) can0 700#01",
+            "(1.002000) can0 701#01",
+            "(1.002100) can0 123#AA",
+            "(1.004000) can0 700#02",
+            "(1.006000) can0 701#02",
+        ]
+        from repro.core.learner import learn_dependencies
+        from repro.trace.trace import Trace
+
+        events = canlog_to_events(log, CONFIG)
+        trace = Trace.from_events(("t1", "t2"), events, period_length=1.0)
+        result = learn_dependencies(trace)
+        assert result.converged
+        assert str(result.unique.value("t1", "t2")) == "->"

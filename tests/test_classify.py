@@ -1,0 +1,145 @@
+"""Unit tests for disjunction/conjunction node classification."""
+
+from repro.analysis.classify import (
+    NodeKind,
+    classify_all,
+    classify_node,
+    components_without_dependencies,
+    depended_on,
+    is_conjunction,
+    is_disjunction,
+    probable_successors,
+    summarize,
+)
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+)
+
+TASKS = ("src", "x", "y", "sink")
+
+
+def branching_function():
+    """src ->? {x, y}; both -> sink; src -> sink (converging branches)."""
+    return DependencyFunction(
+        TASKS,
+        {
+            ("src", "x"): MAY_DETERMINE,
+            ("x", "src"): DEPENDS,
+            ("src", "y"): MAY_DETERMINE,
+            ("y", "src"): DEPENDS,
+            ("x", "sink"): DETERMINES,
+            ("sink", "x"): MAY_DEPEND,
+            ("y", "sink"): DETERMINES,
+            ("sink", "y"): MAY_DEPEND,
+            ("src", "sink"): DETERMINES,
+            ("sink", "src"): DEPENDS,
+        },
+    )
+
+
+class TestCriteria:
+    def test_probable_successors(self):
+        assert probable_successors(branching_function(), "src") == {"x", "y"}
+
+    def test_depended_on(self):
+        assert depended_on(branching_function(), "sink") == {"src", "x", "y"}
+
+    def test_disjunction(self):
+        assert is_disjunction(branching_function(), "src")
+        assert not is_disjunction(branching_function(), "sink")
+
+    def test_conjunction(self):
+        assert is_conjunction(branching_function(), "sink")
+        assert not is_conjunction(branching_function(), "src")
+
+    def test_ordinary(self):
+        assert classify_node(branching_function(), "x") is NodeKind.ORDINARY
+
+    def test_classify_all(self):
+        kinds = classify_all(branching_function())
+        assert kinds["src"] is NodeKind.DISJUNCTION
+        assert kinds["sink"] is NodeKind.CONJUNCTION
+
+    def test_mixed(self):
+        function = DependencyFunction(
+            ("p", "q", "m", "r", "s"),
+            {
+                ("m", "r"): MAY_DETERMINE,
+                ("r", "m"): DEPENDS,
+                ("m", "s"): MAY_DETERMINE,
+                ("s", "m"): DEPENDS,
+                ("m", "p"): DEPENDS,
+                ("p", "m"): DETERMINES,
+                ("m", "q"): DEPENDS,
+                ("q", "m"): DETERMINES,
+            },
+        )
+        assert classify_node(function, "m") is NodeKind.MIXED
+        assert is_disjunction(function, "m")
+        assert is_conjunction(function, "m")
+
+
+class TestStrictVariant:
+    def test_strict_filters_inherited_probable(self):
+        # src ->? x and x ->? leaf give src an indirect ->? leaf; strict
+        # classification should not count leaf as a direct alternative.
+        function = DependencyFunction(
+            ("src", "x", "leaf", "alt"),
+            {
+                ("src", "x"): MAY_DETERMINE,
+                ("x", "src"): DEPENDS,
+                ("src", "alt"): MAY_DETERMINE,
+                ("alt", "src"): DEPENDS,
+                ("src", "leaf"): MAY_DETERMINE,
+                ("leaf", "src"): DEPENDS,
+                ("x", "leaf"): MAY_DETERMINE,
+                ("leaf", "x"): MAY_DEPEND,
+            },
+        )
+        from repro.analysis.classify import direct_probable_successors
+        from repro.analysis.graph import DependencyGraph
+
+        direct = direct_probable_successors(DependencyGraph(function), "src")
+        assert direct == {"x", "alt"}
+        assert is_disjunction(function, "src", strict=True)
+
+    def test_strict_conjunction_uses_hasse_covers(self):
+        chain = DependencyFunction(
+            ("a", "b", "c"),
+            {
+                ("a", "b"): DETERMINES,
+                ("b", "a"): DEPENDS,
+                ("b", "c"): DETERMINES,
+                ("c", "b"): DEPENDS,
+                ("a", "c"): DETERMINES,
+                ("c", "a"): DEPENDS,
+            },
+        )
+        # c has two certain predecessors, but only one cover (b).
+        assert not is_conjunction(chain, "c", strict=True)
+        assert is_conjunction(chain, "c", strict=False)
+
+
+class TestReports:
+    def test_summarize_mentions_kinds(self):
+        text = summarize(branching_function())
+        assert "src: disjunction" in text
+        assert "sink: conjunction" in text
+        assert "chooses among ['x', 'y']" in text
+
+    def test_components(self):
+        isolated = DependencyFunction(("a", "b", "c", "d"))
+        assert components_without_dependencies(isolated) == 4
+        assert components_without_dependencies(branching_function()) == 1
+
+
+class TestPaperExample:
+    def test_figure4_classification(self, paper_exact_result):
+        lub = paper_exact_result.lub()
+        assert is_disjunction(lub, "t1")
+        assert is_conjunction(lub, "t4")
+        assert classify_node(lub, "t2") is NodeKind.ORDINARY

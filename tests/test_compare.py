@@ -1,0 +1,92 @@
+"""Unit tests for learned-vs-reference comparison metrics."""
+
+import pytest
+
+from repro.analysis.compare import (
+    compare_functions,
+    edge_recovery,
+    learned_forward_pairs,
+)
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+)
+
+TASKS = ("a", "b", "c")
+
+
+def func(entries=None):
+    return DependencyFunction(TASKS, entries or {})
+
+
+class TestAgreement:
+    def test_identical(self):
+        f = func({("a", "b"): DETERMINES, ("b", "a"): DEPENDS})
+        report = compare_functions(f, f)
+        assert report.agreement == 1.0
+        assert report.compatible == 1.0
+
+    def test_more_specific_counted(self):
+        learned = func({("a", "b"): DETERMINES, ("b", "a"): DEPENDS})
+        reference = func(
+            {("a", "b"): MAY_DETERMINE, ("b", "a"): MAY_DEPEND}
+        )
+        report = compare_functions(learned, reference)
+        assert report.learned_more_specific == 2
+        assert report.equal == 4  # the remaining parallel pairs
+
+    def test_incomparable_counted(self):
+        learned = func({("a", "b"): DETERMINES})
+        reference = func({("a", "b"): DEPENDS})
+        report = compare_functions(learned, reference)
+        assert report.incomparable == 1
+        assert report.compatible < 1.0
+
+    def test_total_pairs(self):
+        report = compare_functions(func(), func())
+        assert report.total_pairs == 6
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare_functions(func(), DependencyFunction(("x", "y")))
+
+    def test_str_summary(self):
+        assert "agreement" in str(compare_functions(func(), func()))
+
+
+class TestEdgeRecovery:
+    def test_forward_pairs(self):
+        f = func(
+            {
+                ("a", "b"): DETERMINES,
+                ("b", "a"): DEPENDS,
+                ("b", "c"): MAY_DETERMINE,
+            }
+        )
+        assert learned_forward_pairs(f) == {("a", "b"), ("b", "c")}
+
+    def test_precision_recall(self):
+        f = func({("a", "b"): DETERMINES, ("b", "c"): MAY_DETERMINE})
+        truth = frozenset({("a", "b"), ("a", "c")})
+        recovery = edge_recovery(f, truth)
+        assert recovery.true_positive == 1
+        assert recovery.false_positive == 1
+        assert recovery.false_negative == 1
+        assert recovery.precision == pytest.approx(0.5)
+        assert recovery.recall == pytest.approx(0.5)
+        assert recovery.f1 == pytest.approx(0.5)
+
+    def test_perfect_recovery(self):
+        f = func({("a", "b"): DETERMINES})
+        recovery = edge_recovery(f, frozenset({("a", "b")}))
+        assert recovery.precision == 1.0
+        assert recovery.recall == 1.0
+
+    def test_empty_sets_vacuously_perfect(self):
+        recovery = edge_recovery(func(), frozenset())
+        assert recovery.precision == 1.0
+        assert recovery.recall == 1.0
+        assert recovery.f1 == 1.0

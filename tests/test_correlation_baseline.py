@@ -1,0 +1,75 @@
+"""Unit tests for the correlation baseline and its documented blind spots."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.correlation import (
+    execution_matrix,
+    mine_by_correlation,
+    phi_coefficient,
+)
+from repro.core.learner import learn_dependencies
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.examples import simple_four_task_design
+from repro.trace.synthetic import alternating_branch_trace, paper_figure2_trace
+
+
+class TestPrimitives:
+    def test_execution_matrix(self):
+        matrix = execution_matrix(paper_figure2_trace())
+        assert matrix.shape == (3, 4)
+        # t1 (column 0) runs in all periods; t3 (column 2) in periods 2, 3.
+        assert matrix[:, 0].tolist() == [1.0, 1.0, 1.0]
+        assert matrix[:, 2].tolist() == [0.0, 1.0, 1.0]
+
+    def test_phi_perfect_correlation(self):
+        x = np.array([1.0, 0.0, 1.0, 0.0])
+        assert phi_coefficient(x, x) == pytest.approx(1.0)
+        assert phi_coefficient(x, 1 - x) == pytest.approx(-1.0)
+
+    def test_phi_nan_for_constant(self):
+        constant = np.ones(4)
+        varying = np.array([1.0, 0.0, 1.0, 0.0])
+        assert np.isnan(phi_coefficient(constant, varying))
+
+
+class TestMining:
+    def test_alternating_branches_found(self):
+        mined = mine_by_correlation(alternating_branch_trace(10))
+        # a and b alternate: perfectly anti-correlated -> flagged as
+        # (spuriously) related; src/sink are constant -> invisible.
+        assert mined.value("a", "b").has_forward or mined.value(
+            "b", "a"
+        ).has_forward
+        assert str(mined.value("src", "sink")) == "||"
+
+    def test_blind_to_constant_backbone(self):
+        design = simple_four_task_design()
+        trace = Simulator(
+            design, SimulatorConfig(period_length=50.0), seed=3
+        ).run(30).trace
+        mined = mine_by_correlation(trace)
+        learned = learn_dependencies(trace, bound=8).lub()
+        # The learner proves the backbone; correlation cannot see it.
+        assert str(learned.value("t1", "t4")) == "->"
+        assert str(mined.value("t1", "t4")) == "||"
+
+    def test_perfect_coexecution_directed_by_time(self):
+        trace = alternating_branch_trace(8)
+        mined = mine_by_correlation(trace)
+        # src is constant, but a is perfectly co-executed with... nothing
+        # constant; check a's own behavior against sink: sink constant ->
+        # invisible. a vs b anti-correlation gives a probable arrow with
+        # time direction a -> b or b -> a consistently.
+        forward_ab = mined.value("a", "b").has_forward
+        forward_ba = mined.value("b", "a").has_forward
+        assert forward_ab != forward_ba  # one direction only
+
+    def test_threshold_filters_weak_correlation(self):
+        design = simple_four_task_design()
+        trace = Simulator(
+            design, SimulatorConfig(period_length=50.0), seed=3
+        ).run(30).trace
+        strict = mine_by_correlation(trace, threshold=0.99)
+        loose = mine_by_correlation(trace, threshold=0.1)
+        assert strict.entry_count() <= loose.entry_count()

@@ -1,0 +1,103 @@
+"""Unit tests for trace-vs-design coverage analysis."""
+
+import pytest
+
+from repro.analysis.coverage import coverage
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.examples import (
+    diamond_design,
+    pipeline_design,
+    simple_four_task_design,
+)
+from repro.trace.synthetic import build_trace, paper_figure2_trace
+
+
+class TestSignatureCoverage:
+    def test_paper_trace_covers_figure1(self):
+        report = coverage(paper_figure2_trace(), simple_four_task_design())
+        assert report.signature_coverage == 1.0
+        assert not report.unexpected_signatures
+
+    def test_partial_coverage(self):
+        # Only the t2 branch observed.
+        trace = build_trace(
+            ("t1", "t2", "t3", "t4"),
+            [
+                (
+                    [("t1", 0.0, 1.0), ("t2", 2.0, 3.0), ("t4", 4.0, 5.0)],
+                    [("m1", 1.1, 1.4), ("m2", 3.1, 3.4)],
+                )
+            ],
+        )
+        report = coverage(trace, simple_four_task_design())
+        assert report.signature_coverage == pytest.approx(1 / 3)
+        assert not report.exhaustive
+
+    def test_unexpected_signature_flagged(self):
+        # t4 without t1 is not an allowed behavior.
+        trace = build_trace(
+            ("t1", "t2", "t3", "t4"),
+            [([("t4", 0.0, 1.0)], [])],
+        )
+        report = coverage(trace, simple_four_task_design())
+        assert report.unexpected_signatures == {frozenset({"t4"})}
+        assert "WARNING" in report.summary()
+
+
+class TestEdgeAndDecisionCoverage:
+    def test_pipeline_fully_covered(self):
+        design = pipeline_design(3)
+        trace = Simulator(
+            design, SimulatorConfig(period_length=30.0), seed=1
+        ).run(3).trace
+        report = coverage(trace, design)
+        assert report.edge_coverage == 1.0
+        assert report.exhaustive
+
+    def test_uncovered_branch_edge_reported(self):
+        design = diamond_design()
+        # Force only the 'left' behavior by hand-building the trace.
+        trace = build_trace(
+            ("src", "left", "right", "join"),
+            [
+                (
+                    [
+                        ("src", 0.0, 1.0),
+                        ("left", 2.0, 3.0),
+                        ("join", 4.0, 5.0),
+                    ],
+                    [("m1", 1.1, 1.4), ("m2", 3.1, 3.4)],
+                )
+            ]
+            * 3,
+        )
+        report = coverage(trace, design)
+        assert report.edge_coverage < 1.0
+        assert "src->right" in report.summary()
+
+    def test_decision_coverage_counts_options(self):
+        design = simple_four_task_design()  # AT_LEAST_ONE over {t2, t3}
+        trace = Simulator(
+            design, SimulatorConfig(period_length=50.0), seed=0
+        ).run(40).trace
+        report = coverage(trace, design)
+        seen, allowed = report.decision_coverage["t1"]
+        assert allowed == 3
+        assert seen == 3
+
+    def test_ground_truth_pairs_used_when_given(self):
+        design = pipeline_design(3)
+        run = Simulator(
+            design, SimulatorConfig(period_length=30.0), seed=1
+        ).run(2)
+        per_period = [
+            frozenset(
+                (g.sender, g.receiver)
+                for g in run.logger.ground_truth
+                if g.period_index == index
+            )
+            for index in range(2)
+        ]
+        report = coverage(run.trace, design, per_period)
+        assert report.observed_edge_counts[("s0", "s1")] == 2
+        assert report.edge_coverage == 1.0

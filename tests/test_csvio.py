@@ -1,0 +1,65 @@
+"""Unit tests for the CSV trace interchange format."""
+
+import pytest
+
+from repro.errors import TraceParseError
+from repro.trace.csvio import dumps_csv, loads_csv
+from repro.trace.synthetic import paper_figure2_trace
+
+
+class TestRoundTrip:
+    def test_paper_trace_roundtrip(self):
+        original = paper_figure2_trace()
+        recovered = loads_csv(dumps_csv(original), tasks=original.tasks)
+        assert recovered.tasks == original.tasks
+        assert len(recovered) == len(original)
+        for a, b in zip(original.periods, recovered.periods):
+            assert a.events == b.events
+
+    def test_universe_inference(self):
+        recovered = loads_csv(dumps_csv(paper_figure2_trace()))
+        assert set(recovered.tasks) == {"t1", "t2", "t3", "t4"}
+
+    def test_header_emitted(self):
+        assert dumps_csv(paper_figure2_trace()).startswith(
+            "period,time,kind,subject,comment"
+        )
+
+
+class TestParsing:
+    def test_minimal(self):
+        text = "0,0.0,task_start,a,\n0,1.0,task_end,a,\n"
+        trace = loads_csv(text)
+        assert trace.tasks == ("a",)
+
+    def test_header_optional(self):
+        text = (
+            "period,time,kind,subject,comment\n"
+            "0,0.0,task_start,a,\n0,1.0,task_end,a,\n"
+        )
+        assert len(loads_csv(text)) == 1
+
+    def test_sparse_period_indices_renumbered(self):
+        text = "5,0.0,task_start,a,\n5,1.0,task_end,a,\n"
+        trace = loads_csv(text)
+        assert trace[0].index == 0
+
+    def test_bad_period(self):
+        with pytest.raises(TraceParseError, match="not an integer"):
+            loads_csv("x,0.0,task_start,a,\n")
+
+    def test_bad_time(self):
+        with pytest.raises(TraceParseError, match="not a number"):
+            loads_csv("0,zz,task_start,a,\n")
+
+    def test_bad_kind(self):
+        with pytest.raises(TraceParseError, match="unknown event kind"):
+            loads_csv("0,0.0,task_boom,a,\n")
+
+    def test_empty_subject(self):
+        with pytest.raises(TraceParseError, match="empty subject"):
+            loads_csv("0,0.0,task_start,,\n")
+
+    def test_too_few_columns(self):
+        with pytest.raises(TraceParseError, match="at least 4 columns"):
+            loads_csv("0,0.0,task_start\n")

@@ -1,0 +1,185 @@
+"""Unit tests for dependency functions (paper Definition 5 / Section 2.3)."""
+
+import pytest
+
+from repro.core.depfunc import DependencyFunction, lub_many
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+    MAY_MUTUAL,
+    PARALLEL,
+)
+
+TASKS = ("t1", "t2", "t3")
+
+
+def make(entries=None):
+    return DependencyFunction(TASKS, entries or {})
+
+
+class TestConstruction:
+    def test_default_is_bottom(self):
+        function = make()
+        for a in TASKS:
+            for b in TASKS:
+                assert function.value(a, b) is PARALLEL
+
+    def test_bottom_top_factories(self):
+        bottom = DependencyFunction.bottom(TASKS)
+        top = DependencyFunction.top(TASKS)
+        assert bottom.entry_count() == 0
+        assert top.entry_count() == len(TASKS) * (len(TASKS) - 1)
+        assert top.value("t1", "t2") is MAY_MUTUAL
+
+    def test_parallel_entries_dropped(self):
+        function = make({("t1", "t2"): PARALLEL})
+        assert function.entry_count() == 0
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ValueError):
+            make({("t1", "zz"): DETERMINES})
+
+    def test_rejects_duplicate_tasks(self):
+        with pytest.raises(ValueError):
+            DependencyFunction(("a", "a"))
+
+    def test_rejects_nonparallel_diagonal(self):
+        with pytest.raises(ValueError):
+            make({("t1", "t1"): DETERMINES})
+
+    def test_diagonal_parallel_tolerated(self):
+        function = make({("t1", "t1"): PARALLEL})
+        assert function.value("t1", "t1") is PARALLEL
+
+    def test_value_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            make().value("t1", "nope")
+
+    def test_getitem(self):
+        function = make({("t1", "t2"): DETERMINES})
+        assert function["t1", "t2"] is DETERMINES
+
+
+class TestOrder:
+    def test_bottom_below_all(self):
+        bottom = DependencyFunction.bottom(TASKS)
+        some = make({("t1", "t2"): DETERMINES})
+        assert bottom.leq(some)
+        assert not some.leq(bottom)
+
+    def test_pointwise_leq(self):
+        specific = make({("t1", "t2"): DETERMINES})
+        general = make({("t1", "t2"): MAY_DETERMINE, ("t2", "t3"): DEPENDS})
+        assert specific.leq(general)
+        assert not general.leq(specific)
+
+    def test_incomparable(self):
+        left = make({("t1", "t2"): DETERMINES})
+        right = make({("t1", "t2"): DEPENDS})
+        assert not left.leq(right) and not right.leq(left)
+
+    def test_lt_strict(self):
+        function = make({("t1", "t2"): DETERMINES})
+        assert not function.lt(function)
+        assert function.lt(make({("t1", "t2"): MAY_DETERMINE}))
+
+    def test_different_universe_rejected(self):
+        other = DependencyFunction(("x", "y"))
+        with pytest.raises(ValueError):
+            make().leq(other)
+
+
+class TestLubGlbWeight:
+    def test_lub_pointwise(self):
+        left = make({("t1", "t2"): DETERMINES})
+        right = make({("t2", "t1"): DEPENDS, ("t1", "t3"): MAY_DETERMINE})
+        join = left.lub(right)
+        assert join.value("t1", "t2") is DETERMINES
+        assert join.value("t2", "t1") is DEPENDS
+        assert join.value("t1", "t3") is MAY_DETERMINE
+
+    def test_lub_combines_directions(self):
+        left = make({("t1", "t2"): DETERMINES})
+        right = make({("t1", "t2"): DEPENDS})
+        assert left.lub(right).value("t1", "t2").has_forward
+        assert left.lub(right).value("t1", "t2").has_backward
+
+    def test_glb_pointwise(self):
+        left = make({("t1", "t2"): MAY_DETERMINE})
+        right = make({("t1", "t2"): DETERMINES})
+        assert left.glb(right).value("t1", "t2") is DETERMINES
+        assert left.glb(make()).value("t1", "t2") is PARALLEL
+
+    def test_lub_upper_bound_property(self):
+        left = make({("t1", "t2"): DETERMINES, ("t3", "t1"): MAY_DEPEND})
+        right = make({("t1", "t2"): DEPENDS})
+        join = left.lub(right)
+        assert left.leq(join) and right.leq(join)
+
+    def test_weight_definition8(self):
+        function = make(
+            {
+                ("t1", "t2"): DETERMINES,  # 1
+                ("t2", "t1"): DEPENDS,  # 1
+                ("t1", "t3"): MAY_DETERMINE,  # 4
+            }
+        )
+        assert function.weight() == 6
+
+    def test_weight_monotone(self):
+        small = make({("t1", "t2"): DETERMINES})
+        large = make({("t1", "t2"): MAY_DETERMINE, ("t2", "t3"): DEPENDS})
+        assert small.weight() < large.weight()
+
+    def test_lub_many(self):
+        parts = [
+            make({("t1", "t2"): DETERMINES}),
+            make({("t2", "t3"): DEPENDS}),
+            make({("t1", "t2"): DEPENDS}),
+        ]
+        combined = lub_many(parts)
+        assert combined.value("t1", "t2").has_forward
+        assert combined.value("t1", "t2").has_backward
+        assert combined.value("t2", "t3") is DEPENDS
+
+    def test_lub_many_empty_raises(self):
+        with pytest.raises(ValueError):
+            lub_many([])
+
+
+class TestEqualityRendering:
+    def test_equality_ignores_task_order(self):
+        left = DependencyFunction(("a", "b"), {("a", "b"): DETERMINES})
+        right = DependencyFunction(("b", "a"), {("a", "b"): DETERMINES})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality(self):
+        assert make({("t1", "t2"): DETERMINES}) != make()
+
+    def test_table_contains_all_tasks(self):
+        table = make({("t1", "t2"): DETERMINES}).to_table()
+        for task in TASKS:
+            assert task in table
+        assert "→" in table
+
+    def test_ascii_table(self):
+        table = make({("t1", "t2"): DETERMINES}).to_table(unicode_arrows=False)
+        assert "->" in table
+        assert "→" not in table
+
+    def test_to_dict_copy(self):
+        function = make({("t1", "t2"): DETERMINES})
+        exported = function.to_dict()
+        exported[("t2", "t3")] = DEPENDS
+        assert function.value("t2", "t3") is PARALLEL
+
+    def test_nonparallel_pairs_iteration(self):
+        function = make({("t1", "t2"): DETERMINES, ("t2", "t1"): DEPENDS})
+        pairs = {(a, b): v for a, b, v in function.nonparallel_pairs()}
+        assert pairs == {
+            ("t1", "t2"): DETERMINES,
+            ("t2", "t1"): DEPENDS,
+        }

@@ -1,0 +1,68 @@
+"""Unit tests for the one-call system dossier."""
+
+import pytest
+
+from repro.analysis.dossier import build_dossier
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.examples import simple_four_task_design
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return Simulator(
+        simple_four_task_design(), SimulatorConfig(period_length=50.0), seed=4
+    ).run(20).trace
+
+
+class TestWithoutDesign:
+    def test_sections_present(self, trace):
+        dossier = build_dossier(trace, bound=8)
+        text = dossier.to_markdown()
+        for heading in (
+            "## Learning",
+            "## Model",
+            "## Node classification",
+            "## Operation modes",
+            "## Learning curve",
+        ):
+            assert heading in text
+        assert "## Coverage" not in text
+        assert "## Critical paths" not in text
+
+    def test_model_accessible(self, trace):
+        dossier = build_dossier(trace, bound=8)
+        assert str(dossier.model.value("t1", "t4")) == "->"
+
+    def test_components_consistent(self, trace):
+        dossier = build_dossier(trace, bound=8)
+        assert dossier.curve.points[-1].converged == dossier.result.converged
+        assert dossier.ambiguity.message_count == trace.message_count()
+        assert sum(
+            m.occurrence_count for m in dossier.modes.modes
+        ) == len(trace)
+
+
+class TestWithDesign:
+    def test_design_sections_added(self, trace):
+        dossier = build_dossier(
+            trace, design=simple_four_task_design(), bound=8
+        )
+        text = dossier.to_markdown(title="Figure 1 dossier")
+        assert text.startswith("# Figure 1 dossier")
+        assert "## Coverage vs design" in text
+        assert "## Agreement with design ground truth" in text
+        assert "## Critical paths" in text
+
+    def test_truth_agreement_computed(self, trace):
+        dossier = build_dossier(
+            trace, design=simple_four_task_design(), bound=8
+        )
+        assert dossier.truth_agreement is not None
+        assert dossier.truth_agreement.total_pairs == 12
+
+    def test_critical_paths_informed_never_worse(self, trace):
+        dossier = build_dossier(
+            trace, design=simple_four_task_design(), bound=8
+        )
+        assert dossier.critical is not None
+        assert dossier.critical.worst_case_improvement >= 0

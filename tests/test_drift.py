@@ -1,0 +1,104 @@
+"""Unit tests for model-based drift / anomaly detection."""
+
+import pytest
+
+from repro.analysis.drift import DriftMonitor, PeriodStatus
+from repro.core.learner import learn_dependencies
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.examples import simple_four_task_design
+from repro.trace.synthetic import build_period
+
+
+@pytest.fixture(scope="module")
+def golden_model():
+    design = simple_four_task_design()
+    trace = Simulator(
+        design, SimulatorConfig(period_length=50.0), seed=3
+    ).run(30).trace
+    return learn_dependencies(trace, bound=16).lub()
+
+
+@pytest.fixture()
+def fresh_periods():
+    design = simple_four_task_design()
+    return Simulator(
+        design, SimulatorConfig(period_length=50.0), seed=99
+    ).run(10).trace.periods
+
+
+class TestHealthyStream:
+    def test_same_system_is_clean(self, golden_model, fresh_periods):
+        monitor = DriftMonitor(golden_model)
+        report = monitor.observe_all(fresh_periods)
+        assert report.anomaly_count == 0
+        assert report.anomaly_rate == 0.0
+        assert all(v.status is PeriodStatus.OK for v in report.verdicts)
+
+    def test_report_summary(self, golden_model, fresh_periods):
+        monitor = DriftMonitor(golden_model)
+        report = monitor.observe_all(fresh_periods)
+        assert "0 anomalous" in report.summary()
+
+
+class TestAnomalies:
+    def test_new_task_set_detected(self, golden_model):
+        # t1 running without t4 violates the learned d(t1, t4) = ->.
+        period = build_period([("t1", 0.0, 2.0)], [])
+        verdict = DriftMonitor(golden_model).observe(period)
+        assert verdict.status is PeriodStatus.NEW_TASK_SET
+        assert verdict.anomalous
+        assert "d(t1, t4)" in verdict.detail
+
+    def test_unknown_task_malformed(self, golden_model):
+        period = build_period([("intruder", 0.0, 1.0)], [])
+        verdict = DriftMonitor(golden_model).observe(period)
+        assert verdict.status is PeriodStatus.MALFORMED
+
+    def test_unexplained_message_detected(self, golden_model):
+        # Correct task set, but a message before anything completed: no
+        # sender is temporally possible.
+        period = build_period(
+            [
+                ("t1", 1.0, 3.0),
+                ("t2", 4.0, 6.0),
+                ("t4", 7.0, 9.0),
+            ],
+            [("rogue", 0.1, 0.5), ("m1", 3.1, 3.5), ("m2", 6.1, 6.5)],
+        )
+        verdict = DriftMonitor(golden_model).observe(period)
+        assert verdict.status is PeriodStatus.UNEXPLAINED_MESSAGES
+
+    def test_verdict_str(self, golden_model):
+        period = build_period([("t1", 0.0, 2.0)], [])
+        verdict = DriftMonitor(golden_model).observe(period)
+        assert "period 0" in str(verdict)
+        assert "new_task_set" in str(verdict)
+
+    def test_indices_increment(self, golden_model, fresh_periods):
+        monitor = DriftMonitor(golden_model)
+        for period in fresh_periods[:3]:
+            monitor.observe(period)
+        assert [v.period_index for v in monitor.report.verdicts] == [0, 1, 2]
+
+
+class TestAdaptation:
+    def test_adapted_model_absorbs_new_behavior(self, golden_model, fresh_periods):
+        monitor = DriftMonitor(golden_model, adapt=True)
+        monitor.observe_all(fresh_periods)
+        adapted = monitor.adapted_model
+        assert adapted is not None
+        # The adaptation learner saw only healthy periods: its model is
+        # comparable with the golden one on the key facts.
+        assert str(adapted.value("t1", "t4")) == "->"
+
+    def test_no_adaptation_by_default(self, golden_model, fresh_periods):
+        monitor = DriftMonitor(golden_model)
+        monitor.observe_all(fresh_periods)
+        assert monitor.adapted_model is None
+
+    def test_anomaly_still_reported_while_adapting(self, golden_model):
+        monitor = DriftMonitor(golden_model, adapt=True)
+        period = build_period([("t1", 0.0, 2.0)], [])
+        verdict = monitor.observe(period)
+        assert verdict.anomalous
+        assert monitor.adapted_model is not None

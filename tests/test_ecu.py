@@ -1,0 +1,104 @@
+"""Unit tests for the fixed-priority preemptive ECU model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.ecu import Ecu
+
+
+class TestBasicScheduling:
+    def test_single_task_runs_to_completion(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "a", priority=1, exec_time=2.0)
+        assert ecu.running_task == "a"
+        assert ecu.next_completion_time() == 2.0
+        assert ecu.complete_current(2.0) == "a"
+        assert not ecu.busy
+
+    def test_fifo_among_equal_priorities(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "a", priority=1, exec_time=1.0)
+        ecu.release(0.0, "b", priority=1, exec_time=1.0)
+        assert ecu.running_task == "a"
+        ecu.complete_current(1.0)
+        assert ecu.running_task == "b"
+
+    def test_lower_priority_waits(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "hi", priority=5, exec_time=2.0)
+        ecu.release(0.5, "lo", priority=1, exec_time=1.0)
+        assert ecu.running_task == "hi"
+        assert ecu.pending_tasks() == ("lo",)
+        ecu.complete_current(2.0)
+        assert ecu.running_task == "lo"
+        assert ecu.next_completion_time() == 3.0
+
+
+class TestPreemption:
+    def test_higher_priority_preempts(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "lo", priority=1, exec_time=4.0)
+        ecu.release(1.0, "hi", priority=9, exec_time=2.0)
+        assert ecu.running_task == "hi"
+        assert ecu.next_completion_time() == 3.0
+        ecu.complete_current(3.0)
+        # lo resumes with 3 units remaining (1 already done).
+        assert ecu.running_task == "lo"
+        assert ecu.next_completion_time() == pytest.approx(6.0)
+
+    def test_start_logged_once_despite_preemption(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "lo", priority=1, exec_time=4.0)
+        ecu.release(1.0, "hi", priority=9, exec_time=2.0)
+        ecu.complete_current(3.0)
+        ecu.complete_current(6.0)
+        dispatches = dict(ecu.drain_dispatches())
+        assert dispatches == {"lo": 0.0, "hi": 1.0}
+
+    def test_nested_preemption(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "low", priority=1, exec_time=5.0)
+        ecu.release(1.0, "mid", priority=5, exec_time=3.0)
+        ecu.release(2.0, "high", priority=9, exec_time=1.0)
+        # high runs 2-3; mid ran 1-2 and resumes 3-5; low ran 0-1 and
+        # resumes 5-9.
+        assert ecu.complete_current(3.0) == "high"
+        assert ecu.complete_current(5.0) == "mid"
+        assert ecu.complete_current(9.0) == "low"
+
+
+class TestErrors:
+    def test_time_backwards_rejected(self):
+        ecu = Ecu("e")
+        ecu.release(5.0, "a", priority=1, exec_time=1.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            ecu.release(4.0, "b", priority=1, exec_time=1.0)
+
+    def test_nonpositive_exec_time_rejected(self):
+        ecu = Ecu("e")
+        with pytest.raises(SimulationError):
+            ecu.release(0.0, "a", priority=1, exec_time=0.0)
+
+    def test_completion_while_idle_rejected(self):
+        with pytest.raises(SimulationError, match="idle"):
+            Ecu("e").complete_current(1.0)
+
+    def test_early_completion_rejected(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "a", priority=1, exec_time=2.0)
+        with pytest.raises(SimulationError, match="remaining"):
+            ecu.complete_current(1.0)
+
+    def test_reset_with_pending_work_rejected(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "a", priority=1, exec_time=2.0)
+        with pytest.raises(SimulationError, match="reset"):
+            ecu.reset(10.0)
+
+    def test_reset_when_idle(self):
+        ecu = Ecu("e")
+        ecu.release(0.0, "a", priority=1, exec_time=2.0)
+        ecu.complete_current(2.0)
+        ecu.reset(10.0)
+        ecu.release(10.0, "b", priority=1, exec_time=1.0)
+        assert ecu.next_completion_time() == 11.0

@@ -1,0 +1,77 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    EmptyHypothesisSpaceError,
+    LearningError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TraceParseError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            TraceError,
+            TraceParseError,
+            ModelError,
+            SimulationError,
+            LearningError,
+            EmptyHypothesisSpaceError,
+            AnalysisError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_parse_error_line_number(self):
+        error = TraceParseError("bad token", line_number=7)
+        assert error.line_number == 7
+        assert "line 7" in str(error)
+
+    def test_parse_error_without_line(self):
+        error = TraceParseError("bad header")
+        assert error.line_number is None
+        assert "bad header" in str(error)
+
+    def test_empty_space_message(self):
+        error = EmptyHypothesisSpaceError(3, 2)
+        assert error.period_index == 3
+        assert error.message_index == 2
+        assert "period 3" in str(error)
+        assert "message 2" in str(error)
+
+    def test_empty_space_without_message_index(self):
+        error = EmptyHypothesisSpaceError(1)
+        assert "period 1" in str(error)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise EmptyHypothesisSpaceError(0)
+
+
+class TestPublicApi:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_surface(self):
+        # The README's quickstart names must exist and compose.
+        from repro import learn_dependencies, simulate_trace
+        from repro.systems import simple_four_task_design
+
+        trace = simulate_trace(
+            simple_four_task_design(), period_count=3, seed=0
+        )
+        result = learn_dependencies(trace, bound=4)
+        assert result.lub().tasks == trace.tasks

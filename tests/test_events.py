@@ -1,0 +1,73 @@
+"""Unit tests for trace events."""
+
+import pytest
+
+from repro.trace.events import (
+    Event,
+    EventKind,
+    MessageOccurrence,
+    TaskExecution,
+    msg_fall,
+    msg_rise,
+    task_end,
+    task_start,
+)
+
+
+class TestEvent:
+    def test_constructors(self):
+        assert task_start(1.0, "a").kind is EventKind.TASK_START
+        assert task_end(1.0, "a").kind is EventKind.TASK_END
+        assert msg_rise(1.0, "m").kind is EventKind.MSG_RISE
+        assert msg_fall(1.0, "m").kind is EventKind.MSG_FALL
+
+    def test_ordering_by_time(self):
+        early = task_start(1.0, "a")
+        late = task_end(2.0, "a")
+        assert early < late
+        assert sorted([late, early]) == [early, late]
+
+    def test_ordering_deterministic_on_ties(self):
+        events = [msg_rise(1.0, "m2"), msg_rise(1.0, "m1")]
+        assert sorted(events)[0].subject == "m1"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            task_start(-0.5, "a")
+
+    def test_empty_subject_rejected(self):
+        with pytest.raises(ValueError):
+            task_start(0.0, "")
+
+    def test_str_format(self):
+        assert str(task_start(1.5, "a")) == "1.500 task_start a"
+
+    def test_kind_predicates(self):
+        assert EventKind.TASK_START.is_task_event
+        assert not EventKind.TASK_START.is_message_event
+        assert EventKind.MSG_FALL.is_message_event
+
+    def test_comparison_with_non_event(self):
+        with pytest.raises(TypeError):
+            _ = task_start(0.0, "a") < 3
+
+
+class TestTaskExecution:
+    def test_duration(self):
+        assert TaskExecution("a", 1.0, 3.5).duration == 2.5
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ValueError):
+            TaskExecution("a", 2.0, 1.0)
+
+    def test_zero_duration_allowed(self):
+        assert TaskExecution("a", 1.0, 1.0).duration == 0.0
+
+
+class TestMessageOccurrence:
+    def test_duration(self):
+        assert MessageOccurrence("m", 1.0, 1.5).duration == 0.5
+
+    def test_rejects_fall_before_rise(self):
+        with pytest.raises(ValueError):
+            MessageOccurrence("m", 2.0, 1.0)

@@ -1,0 +1,58 @@
+"""Unit tests for the reference designs."""
+
+import pytest
+
+from repro.systems.examples import (
+    diamond_design,
+    multi_rate_design,
+    pipeline_design,
+    simple_four_task_design,
+)
+from repro.systems.model import BranchMode
+
+
+class TestSimpleFourTask:
+    def test_structure(self):
+        design = simple_four_task_design()
+        assert set(design.task_names) == {"t1", "t2", "t3", "t4"}
+        assert design.task("t1").is_source
+        assert design.task("t1").branch_mode is BranchMode.AT_LEAST_ONE
+        assert {e.receiver for e in design.conditional_out_edges("t1")} == {
+            "t2",
+            "t3",
+        }
+
+    def test_three_ecus_for_overlap(self):
+        design = simple_four_task_design()
+        assert design.task("t2").ecu != design.task("t3").ecu
+
+
+class TestPipeline:
+    def test_stage_count(self):
+        assert len(pipeline_design(5)) == 5
+
+    def test_minimum_stages(self):
+        with pytest.raises(ValueError):
+            pipeline_design(1)
+
+    def test_priorities_descend_along_chain(self):
+        design = pipeline_design(4)
+        priorities = [design.task(f"s{i}").priority for i in range(4)]
+        assert priorities == sorted(priorities, reverse=True)
+
+
+class TestDiamond:
+    def test_exclusive_branch(self):
+        design = diamond_design()
+        assert design.task("src").branch_mode is BranchMode.EXACTLY_ONE
+
+
+class TestMultiRate:
+    def test_two_sources(self):
+        design = multi_rate_design()
+        assert {t.name for t in design.sources()} == {"a0", "b0"}
+
+    def test_no_cross_edges(self):
+        design = multi_rate_design()
+        for edge in design.edges:
+            assert edge.sender[0] == edge.receiver[0]

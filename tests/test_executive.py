@@ -1,0 +1,74 @@
+"""Unit tests for period planning (branch decisions and routing)."""
+
+from repro.sim.executive import Executive
+from repro.systems.examples import (
+    diamond_design,
+    pipeline_design,
+    simple_four_task_design,
+)
+from repro.systems.gm import gm_case_study_design
+
+
+class TestPlanning:
+    def test_pipeline_plan_is_total(self):
+        executive = Executive(pipeline_design(4), seed=0)
+        plan = executive.plan_period(0)
+        assert plan.executing == {"s0", "s1", "s2", "s3"}
+        assert len(plan.fired_edges) == 3
+
+    def test_exactly_one_branch(self):
+        executive = Executive(diamond_design(), seed=0)
+        for index in range(20):
+            plan = executive.plan_period(index)
+            chosen = {"left", "right"} & plan.executing
+            assert len(chosen) == 1
+            assert "join" in plan.executing
+
+    def test_at_least_one_branch(self):
+        executive = Executive(simple_four_task_design(), seed=0)
+        seen = set()
+        for index in range(50):
+            plan = executive.plan_period(index)
+            chosen = frozenset({"t2", "t3"} & plan.executing)
+            assert chosen
+            seen.add(chosen)
+        # With 50 seeded periods all three options should appear.
+        assert seen == {
+            frozenset({"t2"}),
+            frozenset({"t3"}),
+            frozenset({"t2", "t3"}),
+        }
+
+    def test_expected_inputs_counts(self):
+        executive = Executive(gm_case_study_design(), seed=1)
+        plan = executive.plan_period(0)
+        assert plan.expected_inputs["Q"] == 3  # from H, P, O
+        assert plan.expected_inputs["P"] == 2  # from N, O
+        assert plan.expected_inputs["A"] == 1  # from S
+
+    def test_out_edges_of_sorted_by_frame_priority(self):
+        executive = Executive(gm_case_study_design(), seed=1)
+        plan = executive.plan_period(0)
+        edges = plan.out_edges_of("O")
+        priorities = [e.frame_priority for e in edges]
+        assert priorities == sorted(priorities)
+
+    def test_deterministic_per_seed(self):
+        left = Executive(simple_four_task_design(), seed=9)
+        right = Executive(simple_four_task_design(), seed=9)
+        for index in range(10):
+            assert (
+                left.plan_period(index).executing
+                == right.plan_period(index).executing
+            )
+
+    def test_unchosen_branch_subtree_idle(self):
+        executive = Executive(gm_case_study_design(), seed=2)
+        for index in range(10):
+            plan = executive.plan_period(index)
+            if "C" in plan.executing:
+                assert "D" not in plan.executing
+                assert "F" not in plan.executing
+            else:
+                assert "D" in plan.executing
+                assert "E" not in plan.executing

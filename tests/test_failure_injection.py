@@ -1,0 +1,156 @@
+"""Failure injection: corrupted traces must fail loudly, not silently.
+
+The validator and learner face logging-device faults in practice: dropped
+edges, duplicated lines, clock glitches, truncation. These tests corrupt
+known-good traces in targeted ways and assert every corruption is either
+detected by construction/validation or handled with the documented error.
+"""
+
+import pytest
+
+from repro.core.learner import learn_dependencies
+from repro.errors import EmptyHypothesisSpaceError, TraceError
+from repro.trace.events import Event, EventKind
+from repro.trace.period import Period
+from repro.trace.synthetic import paper_figure2_trace
+from repro.trace.trace import Trace
+from repro.trace.validate import Severity, validate_trace
+
+
+def corrupt_period(period, drop=None, duplicate=None, shift=None):
+    """Return the period's event list with targeted corruption."""
+    events = list(period.events)
+    if drop is not None:
+        events = [
+            e
+            for e in events
+            if not (e.kind is drop[0] and e.subject == drop[1])
+        ]
+    if duplicate is not None:
+        copies = [e for e in events if e.subject == duplicate]
+        events.extend(copies)
+    if shift is not None:
+        subject, delta = shift
+        events = [
+            Event(e.time + delta, e.kind, e.subject)
+            if e.subject == subject
+            else e
+            for e in events
+        ]
+    return events
+
+
+class TestDroppedEvents:
+    def test_dropped_task_end_detected(self):
+        period = paper_figure2_trace()[0]
+        events = corrupt_period(period, drop=(EventKind.TASK_END, "t1"))
+        with pytest.raises(TraceError, match="never end"):
+            Period(events)
+
+    def test_dropped_task_start_detected(self):
+        period = paper_figure2_trace()[0]
+        events = corrupt_period(period, drop=(EventKind.TASK_START, "t2"))
+        with pytest.raises(TraceError, match="without a start"):
+            Period(events)
+
+    def test_dropped_msg_fall_detected(self):
+        period = paper_figure2_trace()[0]
+        events = corrupt_period(period, drop=(EventKind.MSG_FALL, "m1"))
+        with pytest.raises(TraceError, match="never fall"):
+            Period(events)
+
+    def test_dropped_msg_rise_detected(self):
+        period = paper_figure2_trace()[0]
+        events = corrupt_period(period, drop=(EventKind.MSG_RISE, "m1"))
+        with pytest.raises(TraceError, match="falls without"):
+            Period(events)
+
+
+class TestDuplicatedEvents:
+    def test_duplicated_task_detected(self):
+        period = paper_figure2_trace()[0]
+        events = corrupt_period(period, duplicate="t1")
+        with pytest.raises(TraceError, match="more than once"):
+            Period(events)
+
+    def test_duplicated_message_detected(self):
+        period = paper_figure2_trace()[0]
+        events = corrupt_period(period, duplicate="m1")
+        with pytest.raises(TraceError, match="rises more than once"):
+            Period(events)
+
+
+class TestClockGlitches:
+    def test_message_shifted_before_any_sender(self):
+        # Clock glitch pushes m1 before t1 finishes: no possible sender.
+        original = paper_figure2_trace()
+        events = corrupt_period(original[0], shift=("m1", -2.05))
+        glitched = Trace(
+            original.tasks,
+            [Period(events, index=0)] + [
+                Period(p.events, index=i + 1)
+                for i, p in enumerate(original.periods[1:])
+            ],
+        )
+        errors = [
+            d
+            for d in validate_trace(glitched)
+            if d.severity is Severity.ERROR
+        ]
+        assert errors
+        with pytest.raises(EmptyHypothesisSpaceError):
+            learn_dependencies(glitched)
+
+    def test_small_glitch_recoverable_with_tolerance(self):
+        # A 50 ms glitch on m1's rise (before t1's end) kills the exact
+        # learner at tolerance 0 but is absorbed by a matching tolerance.
+        original = paper_figure2_trace()
+        events = corrupt_period(original[0], shift=("m1", -0.15))
+        glitched = Trace(
+            original.tasks,
+            [Period(events, index=0)] + [
+                Period(p.events, index=i + 1)
+                for i, p in enumerate(original.periods[1:])
+            ],
+        )
+        with pytest.raises(EmptyHypothesisSpaceError):
+            learn_dependencies(glitched)
+        result = learn_dependencies(glitched, tolerance=0.2)
+        assert result.functions
+
+
+class TestTruncation:
+    def test_truncated_stream_still_learnable(self):
+        # Losing the last period only reduces evidence, never corrupts.
+        original = paper_figure2_trace()
+        truncated = original.subtrace(2)
+        result = learn_dependencies(truncated)
+        full = learn_dependencies(original)
+        # Less evidence -> at least as many surviving minimal hypotheses
+        # match, and every full-trace survivor is above some truncated one.
+        for survivor in full.hypotheses:
+            assert any(
+                h.pairs <= survivor.pairs for h in result.hypotheses
+            )
+
+    def test_empty_trace_yields_bottom(self):
+        trace = Trace(("a", "b"), [])
+        result = learn_dependencies(trace)
+        assert result.converged
+        assert result.unique.entry_count() == 0
+
+
+class TestLabelCollisions:
+    def test_reused_message_label_across_periods_is_fine(self):
+        # Labels are per-period; the same label in two periods is legal.
+        from repro.trace.synthetic import build_trace
+
+        trace = build_trace(
+            ("a", "b"),
+            [
+                ([("a", 0.0, 1.0), ("b", 2.0, 3.0)], [("m", 1.1, 1.5)]),
+                ([("a", 10.0, 11.0), ("b", 12.0, 13.0)], [("m", 11.1, 11.5)]),
+            ],
+        )
+        result = learn_dependencies(trace)
+        assert result.converged

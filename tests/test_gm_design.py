@@ -1,0 +1,86 @@
+"""Unit tests for the GM-like 18-task case-study design."""
+
+from repro.systems.gm import (
+    PAPER_MESSAGE_COUNT,
+    PAPER_PERIOD_COUNT,
+    PUBLISHED_PROPERTIES,
+    gm_case_study_design,
+)
+from repro.systems.model import BranchMode
+from repro.systems.semantics import (
+    enumerate_behaviors,
+    ground_truth_dependencies,
+)
+
+
+class TestStructure:
+    def test_eighteen_tasks(self):
+        design = gm_case_study_design()
+        assert len(design) == 18
+        expected = set("ABCDEFGHIJKLMNOPQ") | {"S"}
+        assert set(design.task_names) == expected
+
+    def test_three_ecus_one_bus(self):
+        design = gm_case_study_design()
+        assert len(design.ecus()) == 3
+
+    def test_disjunction_nodes(self):
+        design = gm_case_study_design()
+        assert design.task("A").branch_mode is BranchMode.EXACTLY_ONE
+        assert design.task("B").branch_mode is BranchMode.AT_LEAST_ONE
+
+    def test_conjunction_fan_in(self):
+        design = gm_case_study_design()
+        for joiner in ("H", "P", "Q"):
+            assert len(design.in_edges(joiner)) >= 2
+
+    def test_o_is_highest_priority_on_qs_ecu(self):
+        design = gm_case_study_design()
+        q = design.task("Q")
+        o = design.task("O")
+        assert o.ecu == q.ecu
+        assert o.priority > q.priority
+        assert o.is_source
+
+    def test_o_gates_q(self):
+        design = gm_case_study_design()
+        assert any(e.sender == "O" for e in design.in_edges("Q"))
+
+
+class TestBehaviors:
+    def test_behavior_count(self):
+        # A: exactly one of 2; B: non-empty subset of 2 (3 ways) -> 6.
+        assert len(enumerate_behaviors(gm_case_study_design())) == 6
+
+    def test_published_certain_dependencies_hold_in_design_truth(self):
+        truth = ground_truth_dependencies(gm_case_study_design())
+        assert str(truth.value("A", "L")) == "->"
+        assert str(truth.value("B", "M")) == "->"
+        assert str(truth.value("O", "Q")) == "->"
+
+    def test_branch_alternatives_probable_in_design_truth(self):
+        truth = ground_truth_dependencies(gm_case_study_design())
+        assert str(truth.value("A", "C")) == "->?"
+        assert str(truth.value("A", "D")) == "->?"
+        assert str(truth.value("B", "G")) == "->?"
+
+    def test_always_executing_core(self):
+        behaviors = enumerate_behaviors(gm_case_study_design())
+        core = {"S", "A", "B", "L", "M", "N", "O", "H", "P", "Q"}
+        for behavior in behaviors:
+            assert core <= behavior.executed
+
+
+class TestPublishedConstants:
+    def test_paper_scale_constants(self):
+        assert PAPER_PERIOD_COUNT == 27
+        assert PAPER_MESSAGE_COUNT == 330
+
+    def test_published_properties_well_formed(self):
+        design = gm_case_study_design()
+        names = set(design.task_names)
+        for kind, payload in PUBLISHED_PROPERTIES:
+            if kind in ("disjunction", "conjunction"):
+                assert payload in names
+            else:
+                assert set(payload) <= names

@@ -1,0 +1,89 @@
+"""Unit tests for the dependency graph view."""
+
+from repro.analysis.graph import DependencyGraph, restrict_tasks
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+)
+
+TASKS = ("a", "b", "c")
+
+
+def chain_function():
+    return DependencyFunction(
+        TASKS,
+        {
+            ("a", "b"): DETERMINES,
+            ("b", "a"): DEPENDS,
+            ("b", "c"): DETERMINES,
+            ("c", "b"): DEPENDS,
+            ("a", "c"): DETERMINES,  # transitive closure entry
+            ("c", "a"): DEPENDS,
+        },
+    )
+
+
+class TestGraphView:
+    def test_edges_are_forward_arrows(self):
+        graph = DependencyGraph(chain_function())
+        assert set(graph.nx_graph.edges) == {
+            ("a", "b"),
+            ("b", "c"),
+            ("a", "c"),
+        }
+
+    def test_certain_probable_split(self):
+        function = DependencyFunction(
+            TASKS,
+            {
+                ("a", "b"): DETERMINES,
+                ("b", "a"): DEPENDS,
+                ("a", "c"): MAY_DETERMINE,
+                ("c", "a"): MAY_DEPEND,
+            },
+        )
+        graph = DependencyGraph(function)
+        assert set(graph.certain_graph().edges) == {("a", "b")}
+        assert set(graph.probable_graph().edges) == {("a", "c")}
+        assert graph.edge_count() == 2
+        assert graph.edge_count(certain_only=True) == 1
+
+    def test_transitive_reduction_removes_closure_edge(self):
+        graph = DependencyGraph(chain_function())
+        assert graph.direct_certain_edges() == {("a", "b"), ("b", "c")}
+
+    def test_predecessors_successors(self):
+        graph = DependencyGraph(chain_function())
+        assert graph.successors("a") == {"b", "c"}
+        assert graph.predecessors("c") == {"a", "b"}
+        assert graph.predecessors("c", certain_only=True) == {"a", "b"}
+
+    def test_dot_export(self):
+        dot = DependencyGraph(chain_function()).to_dot("g")
+        assert dot.startswith("digraph g {")
+        assert '"a" -> "b" [style=solid];' in dot
+
+    def test_dot_probable_dashed(self):
+        function = DependencyFunction(
+            TASKS, {("a", "b"): MAY_DETERMINE, ("b", "a"): MAY_DEPEND}
+        )
+        assert "style=dashed" in DependencyGraph(function).to_dot()
+
+    def test_isolated_nodes_present(self):
+        graph = DependencyGraph(DependencyFunction(TASKS))
+        assert set(graph.nx_graph.nodes) == set(TASKS)
+
+
+class TestRestriction:
+    def test_restrict_tasks(self):
+        projected = restrict_tasks(chain_function(), ("a", "b"))
+        assert projected.tasks == ("a", "b")
+        assert str(projected.value("a", "b")) == "->"
+
+    def test_restrict_drops_foreign_entries(self):
+        projected = restrict_tasks(chain_function(), ("a", "c"))
+        assert str(projected.value("a", "c")) == "->"
+        assert projected.entry_count() == 2

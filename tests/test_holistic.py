@@ -1,0 +1,108 @@
+"""Unit tests for the holistic (Tindell & Clark style) analysis."""
+
+import pytest
+
+from repro.analysis.holistic import analyze, compare
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import DEPENDS, DETERMINES
+from repro.errors import AnalysisError
+from repro.systems.builder import DesignBuilder
+from repro.systems.examples import pipeline_design
+
+
+def two_ecu_chain():
+    """src (e0) -> mid (e1) -> sink (e0), with a high-priority disturber
+    on each ECU."""
+    return (
+        DesignBuilder()
+        .source("src", ecu="e0", priority=5, wcet=2.0)
+        .task("mid", ecu="e1", priority=5, wcet=3.0)
+        .task("sink", ecu="e0", priority=1, wcet=1.0)
+        .source("noise0", ecu="e0", priority=9, wcet=1.5)
+        .source("noise1", ecu="e1", priority=9, wcet=2.5)
+        .message("src", "mid")
+        .message("mid", "sink")
+        .build()
+    )
+
+
+class TestAttributes:
+    def test_source_has_no_jitter(self):
+        report = analyze(two_ecu_chain())
+        assert report.tasks["src"].release_jitter == 0.0
+
+    def test_jitter_inherited_through_bus(self):
+        report = analyze(two_ecu_chain(), frame_time=0.5)
+        src = report.tasks["src"]
+        message = report.messages["src", "mid"]
+        assert message.queued_at == src.completion
+        assert report.tasks["mid"].release_jitter == message.arrival
+
+    def test_response_includes_interference(self):
+        report = analyze(two_ecu_chain())
+        # src shares e0 with noise0 (higher priority): R = 2.0 + 1.5.
+        assert report.tasks["src"].response_time == pytest.approx(3.5)
+        assert report.tasks["src"].interfering == ("noise0",)
+
+    def test_completion_monotone_along_chain(self):
+        report = analyze(two_ecu_chain())
+        assert (
+            report.tasks["src"].completion
+            < report.tasks["mid"].completion
+            < report.tasks["sink"].completion
+        )
+
+    def test_bus_delay_counts_higher_frames(self):
+        report = analyze(two_ecu_chain(), frame_time=0.5)
+        first = report.messages["src", "mid"]
+        second = report.messages["mid", "sink"]
+        # Second-declared frame has one higher-priority competitor.
+        assert second.bus_delay == pytest.approx(first.bus_delay + 0.5)
+
+    def test_pipeline_single_ecu(self):
+        report = analyze(pipeline_design(3), frame_time=0.5)
+        # No cross interference (priorities descend along the chain), so
+        # completion = sum of upstream work + bus delays.
+        assert report.tasks["s0"].completion == pytest.approx(1.0)
+        assert report.makespan() == report.tasks["s2"].completion
+
+
+class TestQueries:
+    def test_path_latency_is_tail_completion(self):
+        report = analyze(two_ecu_chain())
+        assert report.path_latency(["src", "mid", "sink"]) == (
+            report.tasks["sink"].completion
+        )
+
+    def test_path_validation(self):
+        report = analyze(two_ecu_chain())
+        with pytest.raises(AnalysisError, match="no message"):
+            report.path_latency(["sink", "src"])
+        with pytest.raises(AnalysisError):
+            report.path_latency([])
+        with pytest.raises(AnalysisError):
+            report.completion("ghost")
+
+
+class TestInformedComparison:
+    def test_learned_order_tightens_bounds(self):
+        design = two_ecu_chain()
+        tasks = design.task_names
+        learned = DependencyFunction(
+            tasks,
+            {
+                # noise0 provably precedes sink (e.g. it feeds the chain).
+                ("sink", "noise0"): DEPENDS,
+                ("noise0", "sink"): DETERMINES,
+            },
+        )
+        comparison = compare(design, learned)
+        assert comparison.improvement("sink") == pytest.approx(1.5)
+        assert comparison.makespan_improvement() >= 0.0
+
+    def test_informed_never_worse(self):
+        design = two_ecu_chain()
+        learned = DependencyFunction(design.task_names, {})
+        comparison = compare(design, learned)
+        for task in design.task_names:
+            assert comparison.improvement(task) == pytest.approx(0.0)

@@ -1,0 +1,167 @@
+"""Unit tests for pair-set hypotheses."""
+
+import pytest
+
+from repro.core.hypothesis import Hypothesis
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+    MUTUAL,
+    PARALLEL,
+)
+from repro.core.stats import CoExecutionStats
+
+
+def stats_always():
+    stats = CoExecutionStats(("a", "b", "c"))
+    stats.add_period({"a", "b", "c"})
+    return stats
+
+
+def stats_partial():
+    stats = CoExecutionStats(("a", "b", "c"))
+    stats.add_period({"a", "b", "c"})
+    stats.add_period({"a"})
+    return stats
+
+
+class TestConstruction:
+    def test_most_specific_is_empty(self):
+        hypothesis = Hypothesis.most_specific()
+        assert hypothesis.pairs == frozenset()
+        assert hypothesis.period_pairs == frozenset()
+
+    def test_period_pairs_must_subset_pairs(self):
+        with pytest.raises(ValueError):
+            Hypothesis(pairs={("a", "b")}, period_pairs={("b", "c")})
+
+    def test_self_pair_rejected_on_extend(self):
+        with pytest.raises(ValueError):
+            Hypothesis.most_specific().extend(("a", "a"))
+
+
+class TestExtension:
+    def test_extend_adds_to_both_sets(self):
+        extended = Hypothesis.most_specific().extend(("a", "b"))
+        assert extended.pairs == {("a", "b")}
+        assert extended.period_pairs == {("a", "b")}
+
+    def test_extend_is_pure(self):
+        base = Hypothesis.most_specific()
+        base.extend(("a", "b"))
+        assert base.pairs == frozenset()
+
+    def test_can_extend_blocks_period_duplicates(self):
+        extended = Hypothesis.most_specific().extend(("a", "b"))
+        assert not extended.can_extend(("a", "b"))
+        assert extended.can_extend(("b", "a"))
+
+    def test_reextending_existing_pair_after_period(self):
+        hypothesis = Hypothesis.most_specific().extend(("a", "b")).end_period()
+        assert hypothesis.can_extend(("a", "b"))
+        again = hypothesis.extend(("a", "b"))
+        assert again.pairs == {("a", "b")}
+        assert again.period_pairs == {("a", "b")}
+
+    def test_end_period_clears_assumptions(self):
+        hypothesis = Hypothesis.most_specific().extend(("a", "b")).end_period()
+        assert hypothesis.pairs == {("a", "b")}
+        assert hypothesis.period_pairs == frozenset()
+
+    def test_end_period_idempotent_identity(self):
+        hypothesis = Hypothesis(pairs={("a", "b")})
+        assert hypothesis.end_period() is hypothesis
+
+
+class TestMergeOrder:
+    def test_merge_unions(self):
+        left = Hypothesis.most_specific().extend(("a", "b"))
+        right = Hypothesis.most_specific().extend(("b", "c"))
+        merged = left.merge(right)
+        assert merged.pairs == {("a", "b"), ("b", "c")}
+        assert merged.period_pairs == {("a", "b"), ("b", "c")}
+
+    def test_leq_is_inclusion(self):
+        small = Hypothesis(pairs={("a", "b")})
+        large = Hypothesis(pairs={("a", "b"), ("b", "c")})
+        assert small.leq(large)
+        assert not large.leq(small)
+
+    def test_equality_and_hash(self):
+        left = Hypothesis(pairs={("a", "b")})
+        right = Hypothesis(pairs={("a", "b")})
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != Hypothesis(pairs={("b", "a")})
+
+
+class TestDerivedFunction:
+    def test_forward_certain(self):
+        hypothesis = Hypothesis(pairs={("a", "b")})
+        stats = stats_always()
+        assert hypothesis.value("a", "b", stats) is DETERMINES
+        assert hypothesis.value("b", "a", stats) is DEPENDS
+        assert hypothesis.value("a", "c", stats) is PARALLEL
+
+    def test_forward_probable_when_not_coexecuted(self):
+        hypothesis = Hypothesis(pairs={("a", "b")})
+        stats = stats_partial()  # a ran without b once
+        assert hypothesis.value("a", "b", stats) is MAY_DETERMINE
+        # b always ran with a, so the backward direction stays certain.
+        assert hypothesis.value("b", "a", stats) is DEPENDS
+
+    def test_both_directions_yield_mutual(self):
+        hypothesis = Hypothesis(pairs={("a", "b"), ("b", "a")})
+        assert hypothesis.value("a", "b", stats_always()) is MUTUAL
+
+    def test_diagonal_parallel(self):
+        hypothesis = Hypothesis(pairs={("a", "b")})
+        assert hypothesis.value("a", "a", stats_always()) is PARALLEL
+
+    def test_to_function_mirrors(self):
+        hypothesis = Hypothesis(pairs={("a", "b")})
+        function = hypothesis.to_function(stats_always())
+        assert function.value("a", "b") is DETERMINES
+        assert function.value("b", "a") is DEPENDS
+
+    def test_function_equality_iff_pair_set_equality(self):
+        stats = stats_always()
+        f1 = Hypothesis(pairs={("a", "b")}).to_function(stats)
+        f2 = Hypothesis(pairs={("a", "b")}).to_function(stats)
+        f3 = Hypothesis(pairs={("b", "a")}).to_function(stats)
+        assert f1 == f2
+        assert f1 != f3
+
+    def test_order_agrees_with_function_order(self):
+        stats = stats_partial()
+        small = Hypothesis(pairs={("a", "b")})
+        large = Hypothesis(pairs={("a", "b"), ("a", "c")})
+        assert small.leq(large)
+        assert small.to_function(stats).leq(large.to_function(stats))
+
+
+class TestWeight:
+    def test_weight_counts_both_directions(self):
+        hypothesis = Hypothesis(pairs={("a", "b")})
+        # -> (1) + <- (1)
+        assert hypothesis.weight(stats_always()) == 2
+
+    def test_weight_with_probable(self):
+        hypothesis = Hypothesis(pairs={("a", "b")})
+        # ->? (4) + <- (1): a ran without b, b never without a.
+        assert hypothesis.weight(stats_partial()) == 5
+
+    def test_weight_cache_invalidated_by_stats_version(self):
+        stats = CoExecutionStats(("a", "b", "c"))
+        stats.add_period({"a", "b", "c"})
+        hypothesis = Hypothesis(pairs={("a", "b")})
+        assert hypothesis.weight(stats) == 2
+        stats.add_period({"a"})
+        assert hypothesis.weight(stats) == 5
+
+    def test_weight_matches_function_weight(self):
+        stats = stats_partial()
+        hypothesis = Hypothesis(pairs={("a", "b"), ("b", "c"), ("c", "a")})
+        assert hypothesis.weight(stats) == hypothesis.to_function(stats).weight()

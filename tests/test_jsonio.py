@@ -1,0 +1,73 @@
+"""Unit tests for the JSON trace format."""
+
+import pytest
+
+from repro.errors import TraceParseError
+from repro.trace.jsonio import (
+    dumps_json,
+    loads_json,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.trace.synthetic import paper_figure2_trace
+
+
+class TestRoundTrip:
+    def test_paper_trace(self):
+        original = paper_figure2_trace()
+        recovered = loads_json(dumps_json(original))
+        assert recovered.tasks == original.tasks
+        for a, b in zip(original.periods, recovered.periods):
+            assert a.events == b.events
+
+    def test_compact_output(self):
+        text = dumps_json(paper_figure2_trace(), indent=None)
+        assert "\n" not in text
+        assert loads_json(text).message_count() == 8
+
+    def test_dict_roundtrip(self):
+        original = paper_figure2_trace()
+        assert trace_from_dict(trace_to_dict(original)).tasks == original.tasks
+
+
+class TestValidation:
+    def test_invalid_json(self):
+        with pytest.raises(TraceParseError, match="invalid JSON"):
+            loads_json("{nope")
+
+    def test_wrong_root(self):
+        with pytest.raises(TraceParseError, match="root"):
+            trace_from_dict([1, 2])  # type: ignore[arg-type]
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(TraceParseError, match="format"):
+            loads_json('{"format": "other", "version": 1}')
+
+    def test_wrong_version(self):
+        with pytest.raises(TraceParseError, match="version"):
+            loads_json('{"format": "repro-trace", "version": 99}')
+
+    def test_bad_tasks(self):
+        with pytest.raises(TraceParseError, match="tasks"):
+            loads_json(
+                '{"format": "repro-trace", "version": 1, "tasks": "x", '
+                '"periods": []}'
+            )
+
+    def test_bad_event_kind(self):
+        text = (
+            '{"format": "repro-trace", "version": 1, "tasks": ["a"], '
+            '"periods": [{"index": 0, "events": '
+            '[{"time": 0, "kind": "boom", "subject": "a"}]}]}'
+        )
+        with pytest.raises(TraceParseError, match="unknown event kind"):
+            loads_json(text)
+
+    def test_malformed_event(self):
+        text = (
+            '{"format": "repro-trace", "version": 1, "tasks": ["a"], '
+            '"periods": [{"index": 0, "events": '
+            '[{"kind": "task_start", "subject": "a"}]}]}'
+        )
+        with pytest.raises(TraceParseError, match="malformed event"):
+            loads_json(text)

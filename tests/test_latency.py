@@ -1,0 +1,117 @@
+"""Unit tests for the latency analysis."""
+
+import pytest
+
+from repro.analysis.latency import (
+    compare_path_latency,
+    path_latency,
+    response_time,
+)
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import DEPENDS, DETERMINES, MAY_DEPEND
+from repro.errors import AnalysisError
+from repro.systems.builder import DesignBuilder
+
+
+def preemption_design():
+    """One ECU: hi (pri 9, C=2), mid (pri 5, C=3), low (pri 1, C=4)."""
+    return (
+        DesignBuilder()
+        .source("hi", ecu="e0", priority=9, wcet=2.0)
+        .task("mid", ecu="e0", priority=5, wcet=3.0)
+        .task("low", ecu="e0", priority=1, wcet=4.0)
+        .message("hi", "mid")
+        .message("mid", "low")
+        .build()
+    )
+
+
+def function(entries):
+    return DependencyFunction(("hi", "mid", "low"), entries)
+
+
+class TestResponseTime:
+    def test_pessimistic_includes_all_higher_priority(self):
+        report = response_time(preemption_design(), "low")
+        assert report.response_time == 4.0 + 2.0 + 3.0
+        assert report.interfering_tasks == ("hi", "mid")
+
+    def test_highest_priority_has_no_interference(self):
+        report = response_time(preemption_design(), "hi")
+        assert report.response_time == 2.0
+        assert report.interfering_tasks == ()
+
+    def test_certain_predecessor_excluded(self):
+        learned = function(
+            {
+                ("low", "hi"): DEPENDS,
+                ("hi", "low"): DETERMINES,
+            }
+        )
+        report = response_time(preemption_design(), "low", learned)
+        assert report.response_time == 4.0 + 3.0
+        assert report.excluded_tasks == ("hi",)
+
+    def test_probable_dependency_not_excluded(self):
+        learned = function({("low", "hi"): MAY_DEPEND})
+        report = response_time(preemption_design(), "low", learned)
+        assert "hi" in report.interfering_tasks
+
+    def test_other_ecu_never_interferes(self):
+        design = (
+            DesignBuilder()
+            .source("a", ecu="e0", priority=1, wcet=2.0)
+            .source("b", ecu="e1", priority=9, wcet=2.0)
+            .build()
+        )
+        report = response_time(design, "a")
+        assert report.interference == 0.0
+
+
+class TestPathLatency:
+    def test_path_sums_tasks_and_bus(self):
+        report = path_latency(
+            preemption_design(), ["hi", "mid"], frame_time=0.5
+        )
+        # hi: 2.0; mid: 3.0 + 2.0 interference; bus hop: blocking 0.5 +
+        # 0 higher frames + own 0.5.
+        assert report.latency == pytest.approx(2.0 + 5.0 + 1.0)
+
+    def test_bus_hop_counts_higher_priority_frames(self):
+        design = preemption_design()
+        # mid -> low is the second-declared frame (priority 1); one frame
+        # (hi -> mid) has a lower identifier.
+        report = path_latency(design, ["mid", "low"], frame_time=0.5)
+        bus_term = report.bus_terms[0]
+        assert bus_term == pytest.approx(0.5 + 1 * 0.5 + 0.5)
+
+    def test_invalid_hop_rejected(self):
+        with pytest.raises(AnalysisError, match="no message"):
+            path_latency(preemption_design(), ["low", "hi"])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(AnalysisError):
+            path_latency(preemption_design(), [])
+
+    def test_breakdown_readable(self):
+        report = path_latency(preemption_design(), ["hi", "mid"])
+        text = report.breakdown()
+        assert "hi" in text and "total" in text
+
+
+class TestComparison:
+    def test_informed_no_worse_than_pessimistic(self):
+        learned = function(
+            {
+                ("low", "hi"): DEPENDS,
+                ("hi", "low"): DETERMINES,
+                ("low", "mid"): DEPENDS,
+                ("mid", "low"): DETERMINES,
+            }
+        )
+        comparison = compare_path_latency(
+            preemption_design(), ["mid", "low"], learned
+        )
+        assert comparison.informed.latency <= comparison.pessimistic.latency
+        assert comparison.improvement == pytest.approx(5.0)
+        assert 0 < comparison.improvement_ratio < 1

@@ -1,0 +1,177 @@
+"""Unit tests for the dependency-value lattice (paper Figure 3)."""
+
+import pytest
+
+from repro.core import lattice
+from repro.core.lattice import (
+    ALL_VALUES,
+    DEPENDS,
+    DETERMINES,
+    DepValue,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+    MAY_MUTUAL,
+    MUTUAL,
+    PARALLEL,
+)
+
+
+class TestOrder:
+    def test_bottom_below_everything(self):
+        for value in ALL_VALUES:
+            assert lattice.leq(PARALLEL, value)
+
+    def test_top_above_everything(self):
+        for value in ALL_VALUES:
+            assert lattice.leq(value, MAY_MUTUAL)
+
+    def test_reflexive(self):
+        for value in ALL_VALUES:
+            assert lattice.leq(value, value)
+
+    def test_antisymmetric(self):
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                if lattice.leq(a, b) and lattice.leq(b, a):
+                    assert a is b
+
+    def test_transitive(self):
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                for c in ALL_VALUES:
+                    if lattice.leq(a, b) and lattice.leq(b, c):
+                        assert lattice.leq(a, c)
+
+    def test_paper_covering_relations(self):
+        assert lattice.lt(PARALLEL, DETERMINES)
+        assert lattice.lt(PARALLEL, DEPENDS)
+        assert lattice.lt(DETERMINES, MAY_DETERMINE)
+        assert lattice.lt(DETERMINES, MUTUAL)
+        assert lattice.lt(DEPENDS, MAY_DEPEND)
+        assert lattice.lt(DEPENDS, MUTUAL)
+        assert lattice.lt(MAY_DETERMINE, MAY_MUTUAL)
+        assert lattice.lt(MUTUAL, MAY_MUTUAL)
+        assert lattice.lt(MAY_DEPEND, MAY_MUTUAL)
+
+    def test_forward_backward_incomparable(self):
+        assert not lattice.comparable(DETERMINES, DEPENDS)
+        assert not lattice.comparable(MAY_DETERMINE, MAY_DEPEND)
+        assert not lattice.comparable(DETERMINES, MAY_DEPEND)
+
+    def test_strict_order_is_irreflexive(self):
+        for value in ALL_VALUES:
+            assert not lattice.lt(value, value)
+
+
+class TestLubGlb:
+    def test_lub_directed_opposites_is_mutual(self):
+        assert lattice.lub(DETERMINES, DEPENDS) is MUTUAL
+
+    def test_lub_probable_opposites_is_top(self):
+        assert lattice.lub(MAY_DETERMINE, MAY_DEPEND) is MAY_MUTUAL
+
+    def test_lub_identity(self):
+        for value in ALL_VALUES:
+            assert lattice.lub(value, value) is value
+            assert lattice.lub(value, PARALLEL) is value
+
+    def test_lub_commutative(self):
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                assert lattice.lub(a, b) is lattice.lub(b, a)
+
+    def test_lub_is_least_upper_bound(self):
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                join = lattice.lub(a, b)
+                assert lattice.leq(a, join) and lattice.leq(b, join)
+                for other in ALL_VALUES:
+                    if lattice.leq(a, other) and lattice.leq(b, other):
+                        assert lattice.leq(join, other)
+
+    def test_glb_is_greatest_lower_bound(self):
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                meet = lattice.glb(a, b)
+                assert lattice.leq(meet, a) and lattice.leq(meet, b)
+                for other in ALL_VALUES:
+                    if lattice.leq(other, a) and lattice.leq(other, b):
+                        assert lattice.leq(other, meet)
+
+    def test_lub_many_empty_is_bottom(self):
+        assert lattice.lub_many([]) is PARALLEL
+
+    def test_glb_many_empty_is_top(self):
+        assert lattice.glb_many([]) is MAY_MUTUAL
+
+    def test_lub_many_chain(self):
+        assert lattice.lub_many([DETERMINES, MAY_DETERMINE]) is MAY_DETERMINE
+        assert (
+            lattice.lub_many([DETERMINES, DEPENDS, MAY_DETERMINE])
+            is MAY_MUTUAL
+        )
+
+
+class TestDistance:
+    def test_paper_definition7_values(self):
+        assert lattice.distance(PARALLEL) == 0
+        assert lattice.distance(DETERMINES) == 1
+        assert lattice.distance(DEPENDS) == 1
+        assert lattice.distance(MAY_DETERMINE) == 4
+        assert lattice.distance(MUTUAL) == 4
+        assert lattice.distance(MAY_DEPEND) == 4
+        assert lattice.distance(MAY_MUTUAL) == 9
+
+    def test_distance_monotone_in_order(self):
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                if lattice.lt(a, b):
+                    assert lattice.distance(a) < lattice.distance(b)
+
+    def test_level_matches_distance(self):
+        for value in ALL_VALUES:
+            assert lattice.distance(value) == lattice.level(value) ** 2
+
+
+class TestPredicates:
+    def test_mirror_involution(self):
+        for value in ALL_VALUES:
+            assert value.mirror.mirror is value
+
+    def test_mirror_swaps_direction(self):
+        assert DETERMINES.mirror is DEPENDS
+        assert MAY_DETERMINE.mirror is MAY_DEPEND
+        assert PARALLEL.mirror is PARALLEL
+        assert MAY_MUTUAL.mirror is MAY_MUTUAL
+
+    def test_forward_backward_components(self):
+        assert DETERMINES.has_forward and not DETERMINES.has_backward
+        assert DEPENDS.has_backward and not DEPENDS.has_forward
+        assert MUTUAL.has_forward and MUTUAL.has_backward
+        assert not PARALLEL.has_forward and not PARALLEL.has_backward
+
+    def test_certainty(self):
+        assert PARALLEL.is_certain
+        assert DETERMINES.is_certain
+        assert not MAY_DETERMINE.is_certain
+        assert not MAY_MUTUAL.is_certain
+
+
+class TestParsing:
+    def test_parse_ascii(self):
+        assert lattice.parse_value("->") is DETERMINES
+        assert lattice.parse_value("<-?") is MAY_DEPEND
+        assert lattice.parse_value("||") is PARALLEL
+
+    def test_parse_unicode(self):
+        assert lattice.parse_value("→") is DETERMINES
+        assert lattice.parse_value("↔?") is MAY_MUTUAL
+        assert lattice.parse_value("‖") is PARALLEL
+
+    def test_parse_roundtrip(self):
+        for value in ALL_VALUES:
+            assert lattice.parse_value(str(value)) is value
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            lattice.parse_value("-->")

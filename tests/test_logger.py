@@ -1,0 +1,86 @@
+"""Unit tests for the black-box bus logger."""
+
+import pytest
+
+from repro.sim.can import Frame, Transmission
+from repro.sim.logger import BusLogger
+
+
+def transmission(sender="a", receiver="b", rise=1.0, fall=1.5):
+    return Transmission(
+        Frame(sender=sender, receiver=receiver, priority=1, enqueued_at=rise),
+        rise,
+        fall,
+    )
+
+
+class TestLogging:
+    def test_anonymous_labels_per_period(self):
+        logger = BusLogger(tasks=("a", "b"))
+        logger.begin_period()
+        logger.log_task_start(0.0, "a")
+        logger.log_task_end(0.9, "a")
+        logger.log_transmission(transmission())
+        logger.log_task_start(2.0, "b")
+        logger.log_task_end(3.0, "b")
+        logger.end_period()
+        trace = logger.trace()
+        assert trace[0].messages[0].label == "m1"
+
+    def test_labels_restart_each_period(self):
+        logger = BusLogger(tasks=("a", "b"))
+        for base in (0.0, 10.0):
+            logger.begin_period()
+            logger.log_task_start(base, "a")
+            logger.log_task_end(base + 0.9, "a")
+            logger.log_transmission(
+                transmission(rise=base + 1.0, fall=base + 1.5)
+            )
+            logger.log_task_start(base + 2.0, "b")
+            logger.log_task_end(base + 3.0, "b")
+            logger.end_period()
+        trace = logger.trace()
+        assert trace[0].messages[0].label == "m1"
+        assert trace[1].messages[0].label == "m1"
+
+    def test_trace_contains_no_endpoint_information(self):
+        logger = BusLogger(tasks=("a", "b"))
+        logger.begin_period()
+        logger.log_task_start(0.0, "a")
+        logger.log_task_end(0.9, "a")
+        logger.log_transmission(transmission())
+        logger.log_task_start(2.0, "b")
+        logger.log_task_end(3.0, "b")
+        logger.end_period()
+        subjects = {e.subject for p in logger.trace() for e in p.events}
+        assert subjects == {"a", "b", "m1"}
+
+    def test_ground_truth_retained_separately(self):
+        logger = BusLogger(tasks=("a", "b"))
+        logger.begin_period()
+        logger.log_task_start(0.0, "a")
+        logger.log_task_end(0.9, "a")
+        logger.log_transmission(transmission())
+        logger.log_task_start(2.0, "b")
+        logger.log_task_end(3.0, "b")
+        logger.end_period()
+        truth = logger.ground_truth[0]
+        assert (truth.sender, truth.receiver, truth.label) == ("a", "b", "m1")
+        assert logger.true_pairs() == {("a", "b")}
+
+    def test_quantization(self):
+        logger = BusLogger(tasks=("a", "b"), resolution=0.25)
+        logger.begin_period()
+        logger.log_task_start(0.13, "a")
+        logger.log_task_end(0.9, "a")
+        logger.end_period()
+        execution = logger.trace()[0].executions[0]
+        assert execution.start == 0.0
+        assert execution.end == 0.75
+
+    def test_begin_period_guard(self):
+        logger = BusLogger(tasks=("a",))
+        logger.begin_period()
+        logger.log_task_start(0.0, "a")
+        with pytest.raises(ValueError, match="not closed"):
+            logger.begin_period()

@@ -1,0 +1,118 @@
+"""Unit tests for the matching function M (paper Definition 3)."""
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import (
+    DEPENDS,
+    DETERMINES,
+    MAY_DEPEND,
+    MAY_DETERMINE,
+)
+from repro.core.matching import (
+    allowed_pairs,
+    certain_relations_hold,
+    find_explanation,
+    matches_period,
+    matches_trace,
+)
+from repro.trace.synthetic import build_period, build_trace, paper_figure2_trace
+
+TASKS = ("a", "b", "c")
+
+
+def function(entries):
+    return DependencyFunction(TASKS, entries)
+
+
+def simple_period():
+    return build_period(
+        [("a", 0.0, 1.0), ("b", 2.0, 3.0)], [("m", 1.1, 1.5)]
+    )
+
+
+class TestCertainRelations:
+    def test_certain_violated_by_absence(self):
+        f = function({("a", "c"): DETERMINES, ("c", "a"): DEPENDS})
+        assert not certain_relations_hold(f, simple_period())
+
+    def test_certain_holds_when_both_run(self):
+        f = function({("a", "b"): DETERMINES, ("b", "a"): DEPENDS})
+        assert certain_relations_hold(f, simple_period())
+
+    def test_probable_never_violated(self):
+        f = function({("a", "c"): MAY_DETERMINE, ("c", "a"): MAY_DEPEND})
+        assert certain_relations_hold(f, simple_period())
+
+    def test_vacuous_when_antecedent_absent(self):
+        f = function({("c", "a"): DETERMINES})
+        # c does not run, so "c determines a" is unfalsified.
+        assert certain_relations_hold(f, simple_period())
+
+
+class TestExplanation:
+    def test_allowed_pairs_filters_by_forward(self):
+        f = function({("a", "b"): DETERMINES, ("b", "a"): DEPENDS})
+        assert allowed_pairs(f, [("a", "b"), ("b", "a")]) == (("a", "b"),)
+
+    def test_explanation_found(self):
+        f = function({("a", "b"): DETERMINES, ("b", "a"): DEPENDS})
+        explanation = find_explanation(f, simple_period())
+        assert explanation == {"m": ("a", "b")}
+
+    def test_no_explanation_without_allowed_pair(self):
+        f = function({})  # everything parallel: nothing may carry a message
+        assert find_explanation(f, simple_period()) is None
+
+    def test_distinctness_forces_failure(self):
+        # Two messages, but only one allowed pair.
+        period = build_period(
+            [("a", 0.0, 1.0), ("b", 2.0, 3.0)],
+            [("m1", 1.1, 1.3), ("m2", 1.4, 1.6)],
+        )
+        f = function({("a", "b"): DETERMINES, ("b", "a"): DEPENDS})
+        assert find_explanation(f, period) is None
+
+    def test_distinctness_satisfied_with_two_pairs(self):
+        period = build_period(
+            [("a", 0.0, 1.0), ("b", 2.0, 3.0), ("c", 4.0, 5.0)],
+            [("m1", 1.1, 1.3), ("m2", 1.4, 1.6)],
+        )
+        f = function(
+            {
+                ("a", "b"): MAY_DETERMINE,
+                ("b", "a"): MAY_DEPEND,
+                ("a", "c"): MAY_DETERMINE,
+                ("c", "a"): MAY_DEPEND,
+            }
+        )
+        explanation = find_explanation(f, period)
+        assert explanation is not None
+        assert set(explanation.values()) == {("a", "b"), ("a", "c")}
+
+    def test_empty_period_trivially_explained(self):
+        period = build_period([("a", 0.0, 1.0)], [])
+        assert find_explanation(function({}), period) == {}
+
+
+class TestMatches:
+    def test_matches_period(self):
+        f = function({("a", "b"): DETERMINES, ("b", "a"): DEPENDS})
+        assert matches_period(f, simple_period())
+
+    def test_matches_trace_all_periods(self):
+        trace = build_trace(
+            TASKS,
+            [
+                ([("a", 0.0, 1.0), ("b", 2.0, 3.0)], [("m", 1.1, 1.5)]),
+                ([("a", 10.0, 11.0), ("b", 12.0, 13.0)], [("m", 11.1, 11.5)]),
+            ],
+        )
+        good = function({("a", "b"): DETERMINES, ("b", "a"): DEPENDS})
+        assert matches_trace(good, trace)
+        assert not matches_trace(function({}), trace)
+
+    def test_paper_results_match_paper_trace(self, paper_exact_result, paper_trace):
+        for learned in paper_exact_result.functions:
+            assert matches_trace(learned, paper_trace)
+
+    def test_paper_lub_matches_paper_trace(self, paper_exact_result, paper_trace):
+        assert matches_trace(paper_exact_result.lub(), paper_trace)

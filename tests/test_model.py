@@ -1,0 +1,121 @@
+"""Unit tests for system design models and their validation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.systems.model import BranchMode, MessageEdge, SystemDesign, TaskSpec
+
+
+def tasks():
+    return [
+        TaskSpec("a", ecu="e0", priority=2, is_source=True),
+        TaskSpec("b", ecu="e0", priority=1),
+        TaskSpec("c", ecu="e1", priority=1),
+    ]
+
+
+class TestTaskSpec:
+    def test_valid(self):
+        spec = TaskSpec("x", bcet=1.0, wcet=2.0)
+        assert spec.bcet == 1.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            TaskSpec("")
+
+    def test_rejects_bad_times(self):
+        with pytest.raises(ModelError):
+            TaskSpec("x", bcet=2.0, wcet=1.0)
+        with pytest.raises(ModelError):
+            TaskSpec("x", bcet=0.0, wcet=0.0)
+
+
+class TestMessageEdge:
+    def test_rejects_self_message(self):
+        with pytest.raises(ModelError):
+            MessageEdge("a", "a")
+
+
+class TestSystemDesign:
+    def test_valid_design(self):
+        design = SystemDesign(
+            tasks(), [MessageEdge("a", "b"), MessageEdge("b", "c")]
+        )
+        assert design.task_names == ("a", "b", "c")
+        assert len(design.edges) == 2
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(ModelError, match="duplicate task"):
+            SystemDesign(tasks() + [TaskSpec("a")], [])
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(ModelError, match="not a task"):
+            SystemDesign(tasks(), [MessageEdge("a", "zz")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ModelError, match="one message per pair"):
+            SystemDesign(
+                tasks(), [MessageEdge("a", "b"), MessageEdge("a", "b")]
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ModelError, match="cyclic"):
+            SystemDesign(
+                tasks(),
+                [
+                    MessageEdge("a", "b"),
+                    MessageEdge("b", "c"),
+                    MessageEdge("c", "b"),
+                ],
+            )
+
+    def test_no_source_rejected(self):
+        no_source = [
+            TaskSpec("a"),
+            TaskSpec("b"),
+        ]
+        with pytest.raises(ModelError, match="no source"):
+            SystemDesign(no_source, [MessageEdge("a", "b")])
+
+    def test_source_with_inputs_rejected(self):
+        specs = [
+            TaskSpec("a", is_source=True),
+            TaskSpec("b", is_source=True),
+        ]
+        with pytest.raises(ModelError, match="incoming edges"):
+            SystemDesign(specs, [MessageEdge("a", "b")])
+
+    def test_conditional_edge_needs_branch_mode(self):
+        with pytest.raises(ModelError, match="branch_mode"):
+            SystemDesign(
+                tasks(), [MessageEdge("a", "b", conditional=True)]
+            )
+
+    def test_accessors(self):
+        design = SystemDesign(
+            tasks(), [MessageEdge("a", "b"), MessageEdge("a", "c")]
+        )
+        assert {e.receiver for e in design.out_edges("a")} == {"b", "c"}
+        assert [e.sender for e in design.in_edges("b")] == ["a"]
+        assert design.sources()[0].name == "a"
+        assert design.ecus() == ("e0", "e1")
+        assert {t.name for t in design.tasks_on("e0")} == {"a", "b"}
+
+    def test_unknown_task_access(self):
+        design = SystemDesign(tasks(), [])
+        with pytest.raises(ModelError):
+            design.task("zz")
+        with pytest.raises(ModelError):
+            design.out_edges("zz")
+
+    def test_topological_order(self):
+        design = SystemDesign(
+            tasks(), [MessageEdge("a", "b"), MessageEdge("b", "c")]
+        )
+        order = design.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_iteration_and_len(self):
+        design = SystemDesign(tasks(), [])
+        assert len(design) == 3
+        assert [t.name for t in design] == ["a", "b", "c"]

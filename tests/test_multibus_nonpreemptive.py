@@ -1,0 +1,139 @@
+"""Tests for multi-bus designs and non-preemptive ECU scheduling."""
+
+import pytest
+
+from repro.core.learner import learn_bounded
+from repro.sim.ecu import Ecu
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.builder import DesignBuilder
+from repro.trace.validate import Severity, validate_trace
+
+
+def two_bus_design():
+    """Two independent chains, each on its own bus."""
+    return (
+        DesignBuilder()
+        .source("a0", ecu="e0", priority=2, wcet=2.0)
+        .task("a1", ecu="e1", priority=2, wcet=2.0)
+        .source("b0", ecu="e2", priority=2, wcet=2.0)
+        .task("b1", ecu="e3", priority=2, wcet=2.0)
+        .message("a0", "a1", bus="can0")
+        .message("b0", "b1", bus="can1")
+        .build()
+    )
+
+
+class TestMultiBus:
+    def test_buses_listed(self):
+        assert two_bus_design().buses() == ("can0", "can1")
+
+    def test_default_single_bus(self):
+        design = (
+            DesignBuilder()
+            .source("a", wcet=1.0)
+            .task("b")
+            .message("a", "b")
+            .build()
+        )
+        assert design.buses() == ("can0",)
+
+    def test_parallel_transmissions_possible(self):
+        # On one shared bus the two frames serialize; on two buses they
+        # can overlap in time.
+        config = SimulatorConfig(period_length=30.0, frame_time=2.0)
+        run = Simulator(two_bus_design(), config, seed=1).run(5)
+        overlapped = 0
+        for period in run.trace.periods:
+            first, second = sorted(period.messages, key=lambda m: m.rise)
+            if second.rise < first.fall:
+                overlapped += 1
+        assert overlapped > 0
+
+    def test_single_bus_serializes(self):
+        design = (
+            DesignBuilder()
+            .source("a0", ecu="e0", priority=2, wcet=2.0)
+            .task("a1", ecu="e1", priority=2, wcet=2.0)
+            .source("b0", ecu="e2", priority=2, wcet=2.0)
+            .task("b1", ecu="e3", priority=2, wcet=2.0)
+            .message("a0", "a1")
+            .message("b0", "b1")
+            .build()
+        )
+        config = SimulatorConfig(period_length=30.0, frame_time=2.0)
+        run = Simulator(design, config, seed=1).run(5)
+        for period in run.trace.periods:
+            first, second = sorted(period.messages, key=lambda m: m.rise)
+            assert second.rise >= first.fall - 1e-9
+
+    def test_traces_remain_valid_and_learnable(self):
+        config = SimulatorConfig(period_length=30.0, frame_time=2.0)
+        run = Simulator(two_bus_design(), config, seed=1).run(10)
+        errors = [
+            d
+            for d in validate_trace(run.trace)
+            if d.severity is Severity.ERROR
+        ]
+        assert errors == []
+        lub = learn_bounded(run.trace, 8).lub()
+        assert str(lub.value("a0", "a1")) == "->"
+        assert str(lub.value("b0", "b1")) == "->"
+
+
+class TestNonPreemptive:
+    def test_no_preemption_when_disabled(self):
+        ecu = Ecu("e", preemptive=False)
+        ecu.release(0.0, "lo", priority=1, exec_time=4.0)
+        ecu.release(1.0, "hi", priority=9, exec_time=1.0)
+        # lo keeps the CPU despite hi's priority.
+        assert ecu.running_task == "lo"
+        assert ecu.complete_current(4.0) == "lo"
+        assert ecu.running_task == "hi"
+        assert ecu.complete_current(5.0) == "hi"
+
+    def test_priority_inversion_observable_in_trace(self):
+        design = (
+            DesignBuilder()
+            .source("trigger", ecu="e0", priority=5, wcet=1.0)
+            .source("lowhog", ecu="e1", priority=1, wcet=6.0)
+            .task("urgent", ecu="e1", priority=9, wcet=1.0)
+            .message("trigger", "urgent")
+            .build()
+        )
+
+        def urgent_start(nonpreemptive):
+            config = SimulatorConfig(
+                period_length=40.0,
+                nonpreemptive_ecus=(
+                    frozenset({"e1"}) if nonpreemptive else frozenset()
+                ),
+            )
+            from repro.sim.random_exec import WorstCaseExecutionModel
+
+            run = Simulator(
+                design, config, seed=0, exec_model=WorstCaseExecutionModel()
+            ).run(1)
+            return run.trace[0].execution_of("urgent").start
+
+        preemptive_start = urgent_start(False)
+        blocked_start = urgent_start(True)
+        assert blocked_start > preemptive_start
+
+    def test_nonpreemptive_windows_never_nest(self):
+        design = (
+            DesignBuilder()
+            .source("trigger", ecu="e0", priority=5, wcet=1.0)
+            .source("lowhog", ecu="e1", priority=1, wcet=6.0)
+            .task("urgent", ecu="e1", priority=9, wcet=1.0)
+            .message("trigger", "urgent")
+            .build()
+        )
+        config = SimulatorConfig(
+            period_length=40.0, nonpreemptive_ecus=frozenset({"e1"})
+        )
+        run = Simulator(design, config, seed=0).run(5)
+        for period in run.trace.periods:
+            hog = period.execution_of("lowhog")
+            urgent = period.execution_of("urgent")
+            # Non-preemptive: windows on e1 are disjoint.
+            assert urgent.start >= hog.end - 1e-9 or hog.start >= urgent.end - 1e-9

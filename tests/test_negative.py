@@ -1,0 +1,114 @@
+"""Unit tests for negative examples / version-space elimination."""
+
+import pytest
+
+from repro.core.learner import learn_dependencies
+from repro.core.negative import (
+    ForbiddenBehavior,
+    VersionSpace,
+    rejects,
+    violated_arrows,
+)
+from repro.trace.synthetic import build_period, paper_figure2_trace
+
+
+@pytest.fixture(scope="module")
+def space(request):
+    result = learn_dependencies(paper_figure2_trace())
+    return VersionSpace(result)
+
+
+class TestForbiddenBehavior:
+    def test_str(self):
+        behavior = ForbiddenBehavior(["t2", "t1"], "branch without sink")
+        assert "branch without sink" in str(behavior)
+        assert "t1, t2" in str(behavior)
+
+    def test_violated_arrows_t1_alone(self, space):
+        # Four of the five survivors carry d(t1, t4) = -> and therefore
+        # prove "t1 alone" impossible; d85 (whose lineage never assumed
+        # t1 -> t4) cannot.
+        behavior = ForbiddenBehavior(["t1"])
+        rejecting = [
+            function
+            for function in space.result.functions
+            if violated_arrows(function, behavior)
+        ]
+        assert len(rejecting) == 4
+        for function in rejecting:
+            arrows = violated_arrows(function, behavior)
+            assert any(
+                (arrow.source, arrow.target) == ("t1", "t4")
+                for arrow in arrows
+            )
+
+    def test_rejects_t2_without_t1(self, space):
+        behavior = ForbiddenBehavior(["t2", "t4"])
+        # d(t2, t1) = <- is certain in every hypothesis: t2 needs t1.
+        for function in space.result.functions:
+            assert rejects(function, behavior)
+
+    def test_possible_behavior_not_rejected(self, space):
+        behavior = ForbiddenBehavior(["t1", "t2", "t4"])  # period 1!
+        verdict = space.check_behavior(behavior)
+        assert not verdict.rejected_by_some
+        assert "NOT REJECTED" in str(verdict)
+
+
+class TestVersionSpace:
+    def test_check_behavior_explanations(self, space):
+        verdict = space.check_behavior(ForbiddenBehavior(["t1"]))
+        assert verdict.rejected_by_some
+        assert not verdict.rejected_by_all  # d85 cannot prove it
+        assert verdict.explanations
+        assert any("t4" in text for text in verdict.explanations)
+
+    def test_consistent_functions_filter(self, space):
+        # d85 has d(t1, t4) = || (its lineage never assumed t1->t4), so
+        # "t1 and t2 run without t4" is rejected by hypotheses carrying
+        # d(t2, t4) = -> — which every survivor does.
+        behaviors = [ForbiddenBehavior(["t1", "t2"])]
+        consistent = space.consistent_functions(behaviors)
+        assert consistent  # all survivors prove t2 -> t4
+        assert len(consistent) == len(space.result.functions)
+
+    def test_negative_period_checked_via_matching(self, space):
+        # A period where t1 runs alone with no messages: violates every
+        # hypothesis's certain arrows.
+        period = build_period([("t1", 0.0, 1.0)], [])
+        verdict = space.check_negative_period(period)
+        assert verdict.rejected_by_some
+        assert not verdict.rejected_by_all  # d85 matches t1-alone
+
+    def test_matching_period_is_inconsistent_evidence(self, space):
+        # Period 1 itself as "negative" evidence: hypotheses match it, so
+        # none reject it — the claim contradicts the positive trace.
+        period = paper_figure2_trace()[0]
+        verdict = space.check_negative_period(period)
+        assert not verdict.rejected_by_all
+
+    def test_eliminate_report(self, space):
+        report = space.eliminate(
+            behaviors=[
+                ForbiddenBehavior(["t1"], "t1 alone"),
+                ForbiddenBehavior(["t1", "t2", "t4"], "actually possible"),
+            ]
+        )
+        assert report.original_count == 5
+        # The "actually possible" claim eliminates everything: no
+        # hypothesis rejects known-positive behavior.
+        assert report.surviving == []
+        assert report.unrejected_evidence
+        text = report.summary()
+        assert "NOT REJECTED" in text
+        assert "WARNING" in text
+
+    def test_eliminate_specializes_the_space(self, space):
+        # "t1 alone is impossible" is negative evidence that eliminates
+        # d85 — the version-space shrink the paper's conclusion promises.
+        report = space.eliminate(
+            behaviors=[ForbiddenBehavior(["t1"], "t1 alone")]
+        )
+        assert len(report.surviving) == 4
+        assert report.eliminated_count == 1
+        assert not report.unrejected_evidence

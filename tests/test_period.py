@@ -1,0 +1,112 @@
+"""Unit tests for period assembly and the MOC structural checks."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import msg_fall, msg_rise, task_end, task_start
+from repro.trace.period import Period
+
+
+def events_ok():
+    return [
+        task_start(0.0, "t1"),
+        task_end(1.0, "t1"),
+        msg_rise(1.1, "m1"),
+        msg_fall(1.4, "m1"),
+        task_start(2.0, "t2"),
+        task_end(3.0, "t2"),
+    ]
+
+
+class TestAssembly:
+    def test_pairs_executions(self):
+        period = Period(events_ok())
+        assert [e.task for e in period.executions] == ["t1", "t2"]
+        assert period.executions[0].start == 0.0
+        assert period.executions[0].end == 1.0
+
+    def test_pairs_messages(self):
+        period = Period(events_ok())
+        assert len(period.messages) == 1
+        message = period.messages[0]
+        assert (message.label, message.rise, message.fall) == ("m1", 1.1, 1.4)
+
+    def test_events_sorted(self):
+        shuffled = list(reversed(events_ok()))
+        period = Period(shuffled)
+        times = [e.time for e in period.events]
+        assert times == sorted(times)
+
+    def test_executed_tasks(self):
+        period = Period(events_ok())
+        assert period.executed_tasks == {"t1", "t2"}
+        assert period.executed("t1")
+        assert not period.executed("t9")
+
+    def test_execution_of(self):
+        period = Period(events_ok())
+        assert period.execution_of("t2").start == 2.0
+        with pytest.raises(KeyError):
+            period.execution_of("t9")
+
+    def test_start_end_times(self):
+        period = Period(events_ok())
+        assert period.start_time() == 0.0
+        assert period.end_time() == 3.0
+
+    def test_empty_period(self):
+        period = Period([])
+        assert len(period) == 0
+        assert period.start_time() == 0.0
+        assert period.executed_tasks == frozenset()
+
+    def test_messages_ordered_by_rise(self):
+        period = Period(
+            [
+                msg_rise(2.0, "b"),
+                msg_fall(2.5, "b"),
+                msg_rise(1.0, "a"),
+                msg_fall(1.5, "a"),
+            ]
+        )
+        assert [m.label for m in period.messages] == ["a", "b"]
+
+
+class TestViolations:
+    def test_double_start(self):
+        with pytest.raises(TraceError, match="starts more than once"):
+            Period(
+                [
+                    task_start(0.0, "t1"),
+                    task_end(1.0, "t1"),
+                    task_start(2.0, "t1"),
+                    task_end(3.0, "t1"),
+                ]
+            )
+
+    def test_end_without_start(self):
+        with pytest.raises(TraceError, match="without a start"):
+            Period([task_end(1.0, "t1")])
+
+    def test_start_without_end(self):
+        with pytest.raises(TraceError, match="never end"):
+            Period([task_start(0.0, "t1")])
+
+    def test_message_double_rise(self):
+        with pytest.raises(TraceError, match="rises more than once"):
+            Period(
+                [
+                    msg_rise(0.0, "m"),
+                    msg_fall(0.5, "m"),
+                    msg_rise(1.0, "m"),
+                    msg_fall(1.5, "m"),
+                ]
+            )
+
+    def test_message_fall_without_rise(self):
+        with pytest.raises(TraceError, match="falls without"):
+            Period([msg_fall(1.0, "m")])
+
+    def test_message_never_falls(self):
+        with pytest.raises(TraceError, match="never fall"):
+            Period([msg_rise(1.0, "m")])

@@ -1,0 +1,75 @@
+"""Unit tests for period-length inference."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.systems.examples import simple_four_task_design
+from repro.trace.periodize import (
+    infer_period_by_autocorrelation,
+    infer_period_by_gaps,
+    segment_stream,
+)
+
+PERIOD = 50.0
+
+
+@pytest.fixture(scope="module")
+def stream():
+    design = simple_four_task_design()
+    trace = Simulator(
+        design, SimulatorConfig(period_length=PERIOD), seed=8
+    ).run(20).trace
+    return [event for period in trace for event in period.events]
+
+
+class TestGapInference:
+    def test_recovers_simulated_period(self, stream):
+        inferred = infer_period_by_gaps(stream)
+        assert inferred == pytest.approx(PERIOD, rel=0.05)
+
+    def test_too_few_events(self):
+        from repro.trace.events import task_start
+
+        with pytest.raises(TraceError, match="too few"):
+            infer_period_by_gaps([task_start(0.0, "a")])
+
+    def test_simultaneous_events(self):
+        from repro.trace.events import task_end, task_start
+
+        events = [
+            task_start(1.0, "a"),
+            task_end(1.0, "a"),
+            task_start(1.0, "b"),
+            task_end(1.0, "b"),
+        ]
+        with pytest.raises(TraceError, match="simultaneous"):
+            infer_period_by_gaps(events)
+
+
+class TestAutocorrelation:
+    def test_recovers_simulated_period(self, stream):
+        inferred = infer_period_by_autocorrelation(stream)
+        assert inferred == pytest.approx(PERIOD, rel=0.1)
+
+
+class TestSegmentation:
+    def test_explicit_period(self, stream):
+        trace = segment_stream(
+            ("t1", "t2", "t3", "t4"), stream, period_length=PERIOD
+        )
+        assert len(trace) == 20
+
+    def test_inferred_gaps(self, stream):
+        trace = segment_stream(("t1", "t2", "t3", "t4"), stream)
+        # The inferred length may bucket slightly differently, but the
+        # segmentation must be sane and learnable.
+        assert 18 <= len(trace) <= 22
+        from repro.core.learner import learn_dependencies
+
+        lub = learn_dependencies(trace, bound=8).lub()
+        assert str(lub.value("t1", "t4")) == "->"
+
+    def test_unknown_method(self, stream):
+        with pytest.raises(TraceError, match="unknown inference method"):
+            segment_stream(("t1",), stream, method="psychic")

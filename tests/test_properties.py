@@ -1,0 +1,86 @@
+"""Unit tests for property proving."""
+
+import pytest
+
+from repro.analysis.properties import (
+    CertainDependency,
+    ConjunctionNode,
+    DisjunctionNode,
+    ImplicitOrdering,
+    MustExecuteWith,
+    prove_all,
+    proved_fraction,
+)
+from repro.errors import AnalysisError
+
+
+class TestOnPaperExample:
+    def test_certain_dependency_proved(self, paper_exact_result):
+        lub = paper_exact_result.lub()
+        verdict = CertainDependency("t1", "t4").check(lub)
+        assert verdict.holds
+        assert "PROVED" in str(verdict)
+
+    def test_certain_dependency_refuted(self, paper_exact_result):
+        lub = paper_exact_result.lub()
+        verdict = CertainDependency("t1", "t2").check(lub)
+        assert not verdict.holds
+        assert "NOT PROVED" in str(verdict)
+
+    def test_must_execute_with_alias(self, paper_exact_result):
+        lub = paper_exact_result.lub()
+        assert MustExecuteWith("t1", "t4").check(lub).holds
+
+    def test_disjunction_node(self, paper_exact_result):
+        lub = paper_exact_result.lub()
+        assert DisjunctionNode("t1").check(lub).holds
+        assert not DisjunctionNode("t4").check(lub).holds
+
+    def test_conjunction_node(self, paper_exact_result):
+        lub = paper_exact_result.lub()
+        assert ConjunctionNode("t4").check(lub).holds
+        assert not ConjunctionNode("t1").check(lub).holds
+
+    def test_implicit_ordering(self, paper_exact_result):
+        lub = paper_exact_result.lub()
+        assert ImplicitOrdering("t1", "t4").check(lub).holds
+        assert not ImplicitOrdering("t2", "t3").check(lub).holds
+
+    def test_unknown_task_rejected(self, paper_exact_result):
+        with pytest.raises(AnalysisError):
+            CertainDependency("t1", "zz").check(paper_exact_result.lub())
+
+    def test_prove_all_and_fraction(self, paper_exact_result):
+        lub = paper_exact_result.lub()
+        verdicts = prove_all(
+            lub,
+            [
+                CertainDependency("t1", "t4"),
+                CertainDependency("t1", "t2"),
+                DisjunctionNode("t1"),
+                ConjunctionNode("t4"),
+            ],
+        )
+        assert [v.holds for v in verdicts] == [True, False, True, True]
+        assert proved_fraction(verdicts) == pytest.approx(0.75)
+
+    def test_proved_fraction_empty(self):
+        assert proved_fraction([]) == 1.0
+
+    def test_property_names_descriptive(self):
+        assert "t1" in CertainDependency("t1", "t4").name
+        assert "disjunction" in DisjunctionNode("t1").name
+        assert "precedes" in ImplicitOrdering("a", "b").name
+
+
+class TestPublishedProperties:
+    def test_builder_covers_all_kinds(self):
+        from repro.analysis.properties import published_case_study_properties
+
+        properties = published_case_study_properties()
+        assert len(properties) == 8
+        names = [prop.name for prop in properties]
+        assert any("A is a disjunction" in name for name in names)
+        assert any("Q is a conjunction" in name for name in names)
+        assert any("d(A, L)" in name for name in names)
+        assert any("O always precedes Q" in name for name in names)

@@ -1,0 +1,39 @@
+"""Unit tests for execution-time models."""
+
+from repro.sim.random_exec import (
+    AlternatingExecutionModel,
+    BestCaseExecutionModel,
+    UniformExecutionModel,
+    WorstCaseExecutionModel,
+)
+from repro.systems.model import TaskSpec
+
+TASK = TaskSpec("t", bcet=1.0, wcet=3.0)
+FIXED = TaskSpec("f", bcet=2.0, wcet=2.0)
+
+
+class TestModels:
+    def test_uniform_within_bounds(self):
+        model = UniformExecutionModel(seed=1)
+        for period in range(100):
+            draw = model.draw(TASK, period)
+            assert TASK.bcet <= draw <= TASK.wcet
+
+    def test_uniform_deterministic_per_seed(self):
+        a = [UniformExecutionModel(seed=5).draw(TASK, i) for i in range(5)]
+        b = [UniformExecutionModel(seed=5).draw(TASK, i) for i in range(5)]
+        assert a == b
+
+    def test_uniform_degenerate_range(self):
+        assert UniformExecutionModel(seed=0).draw(FIXED, 0) == 2.0
+
+    def test_worst_case(self):
+        assert WorstCaseExecutionModel().draw(TASK, 0) == 3.0
+
+    def test_best_case(self):
+        assert BestCaseExecutionModel().draw(TASK, 0) == 1.0
+
+    def test_alternating(self):
+        model = AlternatingExecutionModel()
+        assert model.draw(TASK, 0) == 1.0
+        assert model.draw(TASK, 1) == 3.0

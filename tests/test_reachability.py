@@ -1,0 +1,93 @@
+"""Unit tests for state-space exploration and reduction."""
+
+import math
+
+import pytest
+
+from repro.analysis.reachability import compare_state_spaces, explore_states
+from repro.core.depfunc import DependencyFunction
+from repro.core.lattice import DEPENDS, DETERMINES
+from repro.errors import AnalysisError
+from repro.systems.builder import DesignBuilder
+
+
+def independent_design(count=3):
+    builder = DesignBuilder()
+    for i in range(count):
+        builder.source(f"t{i}", ecu=f"e{i}", priority=1, wcet=1.0)
+    return builder.build()
+
+
+def chain_function(names):
+    entries = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            entries[a, b] = DETERMINES
+            entries[b, a] = DEPENDS
+    return DependencyFunction(names, entries)
+
+
+class TestExploration:
+    def test_independent_tasks_full_space(self):
+        # Each task independently not-started/running/done: 3^n states.
+        report = explore_states(independent_design(3))
+        assert report.state_count == 27
+        assert not report.truncated
+
+    def test_total_order_collapses_space(self):
+        names = ("t0", "t1", "t2")
+        report = explore_states(
+            independent_design(3), function=chain_function(names)
+        )
+        # A fixed order leaves 2n + 1 states along one path.
+        assert report.state_count == 7
+
+    def test_single_terminal_state(self):
+        report = explore_states(independent_design(2))
+        assert report.terminal_states == 1
+
+    def test_shared_ecu_limits_running_set(self):
+        builder = DesignBuilder()
+        builder.source("a", ecu="e0", priority=2, wcet=1.0)
+        builder.source("b", ecu="e0", priority=1, wcet=1.0)
+        design = builder.build()
+        report = explore_states(design)
+        # States where both run simultaneously are unreachable.
+        assert report.state_count < 9
+
+    def test_task_subset(self):
+        report = explore_states(independent_design(4), tasks=("t0", "t1"))
+        assert report.state_count == 9
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(AnalysisError):
+            explore_states(independent_design(2), tasks=("zz",))
+
+    def test_truncation_flag(self):
+        report = explore_states(independent_design(5), max_states=10)
+        assert report.truncated
+        assert report.state_count >= 10
+
+
+class TestReduction:
+    def test_reduction_factor(self):
+        design = independent_design(4)
+        names = tuple(f"t{i}" for i in range(4))
+        report = compare_state_spaces(design, chain_function(names))
+        assert report.pessimistic.state_count == 81
+        assert report.informed.state_count == 9
+        assert report.reduction_factor == pytest.approx(9.0)
+
+    def test_reduction_grows_with_task_count(self):
+        factors = []
+        for count in (3, 4, 5):
+            design = independent_design(count)
+            names = tuple(f"t{i}" for i in range(count))
+            factors.append(
+                compare_state_spaces(design, chain_function(names)).reduction_factor
+            )
+        assert factors == sorted(factors)
+
+    def test_report_str(self):
+        report = explore_states(independent_design(2))
+        assert "states" in str(report)

@@ -1,0 +1,97 @@
+"""Unit tests for model export and report generation."""
+
+import pytest
+
+from repro.analysis.report import (
+    dumps_model,
+    function_from_dict,
+    function_to_dict,
+    loads_model,
+    markdown_report,
+    to_graphml,
+)
+from repro.core.learner import learn_dependencies
+from repro.errors import AnalysisError
+from repro.trace.synthetic import paper_figure2_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    return learn_dependencies(paper_figure2_trace())
+
+
+class TestJsonModel:
+    def test_roundtrip(self, result):
+        model = result.lub()
+        recovered = loads_model(dumps_model(model))
+        assert recovered == model
+
+    def test_dict_shape(self, result):
+        data = function_to_dict(result.lub())
+        assert data["format"] == "repro-dependency-model"
+        assert set(data["tasks"]) == {"t1", "t2", "t3", "t4"}
+        assert all(
+            set(entry) == {"from", "to", "value"} for entry in data["entries"]
+        )
+
+    def test_bad_format(self):
+        with pytest.raises(AnalysisError, match="format"):
+            function_from_dict({"format": "nope", "version": 1})
+
+    def test_bad_version(self):
+        with pytest.raises(AnalysisError, match="version"):
+            function_from_dict(
+                {"format": "repro-dependency-model", "version": 7}
+            )
+
+    def test_bad_entry(self):
+        with pytest.raises(AnalysisError, match="malformed entry"):
+            function_from_dict(
+                {
+                    "format": "repro-dependency-model",
+                    "version": 1,
+                    "tasks": ["a", "b"],
+                    "entries": [{"from": "a"}],
+                }
+            )
+
+    def test_invalid_json(self):
+        with pytest.raises(AnalysisError, match="invalid JSON"):
+            loads_model("{")
+
+
+class TestGraphml:
+    def test_contains_nodes_and_edges(self, result):
+        text = to_graphml(result.lub())
+        assert "graphml" in text
+        assert "t1" in text and "t4" in text
+        # certain flag serialized
+        assert "certain" in text
+
+    def test_parsable_by_networkx(self, result):
+        import io
+
+        import networkx as nx
+
+        graph = nx.read_graphml(io.BytesIO(to_graphml(result.lub()).encode()))
+        assert graph.has_edge("t1", "t4")
+        assert graph.edges["t1", "t4"]["value"] == "->"
+
+
+class TestMarkdownReport:
+    def test_sections_present(self, result):
+        text = markdown_report(result, title="Demo")
+        assert text.startswith("# Demo")
+        assert "## Run" in text
+        assert "## Model" in text
+        assert "## Certain facts" in text
+        assert "## Node classification" in text
+
+    def test_facts_listed(self, result):
+        text = markdown_report(result)
+        assert "whenever **t1** runs, **t4** must run" in text
+
+    def test_metadata(self, result):
+        text = markdown_report(result)
+        assert "algorithm: **exact**" in text
+        assert "periods: 3, messages: 8" in text

@@ -1,0 +1,62 @@
+"""Unit tests for LearningResult."""
+
+import pytest
+
+from repro.core.depfunc import DependencyFunction
+from repro.core.hypothesis import Hypothesis
+from repro.core.lattice import DETERMINES, DEPENDS
+from repro.core.result import LearningResult
+from repro.core.stats import CoExecutionStats
+
+TASKS = ("a", "b")
+
+
+def make_result(functions, hypotheses=None):
+    stats = CoExecutionStats(TASKS)
+    stats.add_period({"a", "b"})
+    return LearningResult(
+        functions=functions,
+        hypotheses=hypotheses or [Hypothesis.most_specific()] * len(functions),
+        stats=stats,
+        algorithm="exact",
+        periods=1,
+        messages=0,
+        peak_hypotheses=len(functions),
+    )
+
+
+def func(entries=None):
+    return DependencyFunction(TASKS, entries or {})
+
+
+class TestResult:
+    def test_converged_single(self):
+        result = make_result([func()])
+        assert result.converged
+        assert result.unique == func()
+
+    def test_unique_raises_on_multiple(self):
+        result = make_result([func(), func({("a", "b"): DETERMINES})])
+        assert not result.converged
+        with pytest.raises(ValueError, match="did not converge"):
+            _ = result.unique
+
+    def test_lub(self):
+        result = make_result(
+            [
+                func({("a", "b"): DETERMINES}),
+                func({("b", "a"): DEPENDS}),
+            ]
+        )
+        combined = result.lub()
+        assert combined.value("a", "b") is DETERMINES
+        assert combined.value("b", "a") is DEPENDS
+
+    def test_summary_mentions_key_fields(self):
+        text = make_result([func()]).summary()
+        assert "exact" in text
+        assert "periods" in text
+        assert "converged" in text
+
+    def test_repr(self):
+        assert "exact" in repr(make_result([func()]))

@@ -1,0 +1,111 @@
+"""Unit tests for the NP-hardness (hitting-set / SAT) construction."""
+
+import pytest
+
+from repro.theory.sat_reduction import (
+    CnfFormula,
+    brute_force_minimal_hitting_sets,
+    check_assignment,
+    formula_to_clause_family,
+    minimal_hitting_sets_via_learning,
+    solve_sat_via_learning,
+    trace_from_clauses,
+)
+
+
+class TestHittingSets:
+    def test_single_clause(self):
+        sets = minimal_hitting_sets_via_learning([["a", "b"]])
+        assert sets == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_triangle(self):
+        clauses = [["a", "b"], ["b", "c"], ["a", "c"]]
+        learned = minimal_hitting_sets_via_learning(clauses)
+        brute = brute_force_minimal_hitting_sets(clauses)
+        assert learned == brute
+        assert all(len(s) == 2 for s in learned)
+
+    def test_forced_element(self):
+        clauses = [["a"], ["a", "b"], ["b", "c"]]
+        learned = minimal_hitting_sets_via_learning(clauses)
+        assert learned == brute_force_minimal_hitting_sets(clauses)
+        assert all("a" in s for s in learned)
+
+    def test_agreement_on_random_families(self):
+        import random
+
+        rng = random.Random(0)
+        items = ["x", "y", "z", "w"]
+        for _ in range(10):
+            clauses = [
+                rng.sample(items, rng.randint(1, 3))
+                for _ in range(rng.randint(1, 4))
+            ]
+            assert minimal_hitting_sets_via_learning(
+                clauses
+            ) == brute_force_minimal_hitting_sets(clauses)
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_clauses([[]])
+
+    def test_reserved_sender_name(self):
+        with pytest.raises(ValueError, match="reserved"):
+            trace_from_clauses([["src", "a"]])
+
+
+class TestTraceConstruction:
+    def test_candidates_equal_clause(self):
+        from repro.core.candidates import candidate_pairs
+
+        trace = trace_from_clauses([["a", "b"], ["c"]])
+        period0 = trace[0]
+        pairs = candidate_pairs(period0, period0.messages[0])
+        assert set(pairs) == {("src", "a"), ("src", "b")}
+        period1 = trace[1]
+        assert set(candidate_pairs(period1, period1.messages[0])) == {
+            ("src", "c")
+        }
+
+
+class TestSat:
+    def test_satisfiable_formula(self):
+        # (x or y) and (not x or y) — satisfiable with y = True.
+        formula = CnfFormula(
+            clauses=(
+                (("x", True), ("y", True)),
+                (("x", False), ("y", True)),
+            )
+        )
+        assignment = solve_sat_via_learning(formula)
+        assert assignment is not None
+        assert check_assignment(formula, assignment)
+
+    def test_unsatisfiable_formula(self):
+        # x and not x.
+        formula = CnfFormula(
+            clauses=(
+                (("x", True),),
+                (("x", False),),
+            )
+        )
+        assert solve_sat_via_learning(formula) is None
+
+    def test_three_variable_instance(self):
+        formula = CnfFormula(
+            clauses=(
+                (("a", True), ("b", True), ("c", True)),
+                (("a", False), ("b", False)),
+                (("b", True), ("c", False)),
+            )
+        )
+        assignment = solve_sat_via_learning(formula)
+        assert assignment is not None
+        assert check_assignment(formula, assignment)
+
+    def test_clause_family_structure(self):
+        formula = CnfFormula(clauses=((("x", True), ("y", False)),))
+        family = formula_to_clause_family(formula)
+        assert frozenset({"x+", "x-"}) in family
+        assert frozenset({"y+", "y-"}) in family
+        assert frozenset({"x+", "y-"}) in family

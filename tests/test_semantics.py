@@ -1,0 +1,142 @@
+"""Unit tests for behavior enumeration and ground-truth dependencies."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.systems.examples import (
+    diamond_design,
+    multi_rate_design,
+    pipeline_design,
+    simple_four_task_design,
+)
+from repro.systems.semantics import (
+    behavior_signatures,
+    enumerate_behaviors,
+    execution_probability,
+    ground_truth_dependencies,
+    influence_closure,
+)
+
+
+class TestEnumeration:
+    def test_pipeline_single_behavior(self):
+        behaviors = enumerate_behaviors(pipeline_design(4))
+        assert len(behaviors) == 1
+        assert behaviors[0].executed == {"s0", "s1", "s2", "s3"}
+
+    def test_figure1_behaviors(self):
+        # t1 sends to t2, t3 or both: three behaviors.
+        behaviors = enumerate_behaviors(simple_four_task_design())
+        executed = sorted(sorted(b.executed) for b in behaviors)
+        assert len(behaviors) == 3
+        assert ["t1", "t2", "t3", "t4"] in executed
+        assert ["t1", "t2", "t4"] in executed
+        assert ["t1", "t3", "t4"] in executed
+
+    def test_diamond_exactly_one(self):
+        behaviors = enumerate_behaviors(diamond_design())
+        assert len(behaviors) == 2
+        for behavior in behaviors:
+            assert "join" in behavior.executed
+            assert ("left" in behavior.executed) != (
+                "right" in behavior.executed
+            )
+
+    def test_fires_accessor(self):
+        behavior = enumerate_behaviors(pipeline_design(3))[0]
+        assert behavior.fires("s0", "s1")
+        assert not behavior.fires("s1", "s0")
+
+    def test_cap_enforced(self):
+        with pytest.raises(ModelError, match="enumeration exceeded"):
+            enumerate_behaviors(simple_four_task_design(), max_behaviors=1)
+
+    def test_signatures_dedupe(self):
+        behaviors = enumerate_behaviors(simple_four_task_design())
+        signatures = list(behavior_signatures(behaviors))
+        assert len(signatures) == len(set(signatures)) == 3
+
+
+class TestInfluence:
+    def test_closure_pipeline(self):
+        closure = influence_closure(pipeline_design(3))
+        assert closure["s0"] == {"s1", "s2"}
+        assert closure["s2"] == frozenset()
+
+    def test_closure_figure1(self):
+        closure = influence_closure(simple_four_task_design())
+        assert closure["t1"] == {"t2", "t3", "t4"}
+        assert closure["t2"] == {"t4"}
+
+
+class TestGroundTruth:
+    def test_figure1_certain_through_branches(self):
+        truth = ground_truth_dependencies(simple_four_task_design())
+        # The paper's headline: t1 always determines t4.
+        assert str(truth.value("t1", "t4")) == "->"
+        assert str(truth.value("t4", "t1")) == "<-"
+        # But each branch is only probable.
+        assert str(truth.value("t1", "t2")) == "->?"
+        assert str(truth.value("t2", "t1")) == "<-"
+
+    def test_figure1_parallel_branches(self):
+        truth = ground_truth_dependencies(simple_four_task_design())
+        assert str(truth.value("t2", "t3")) == "||"
+
+    def test_independent_chains_parallel(self):
+        truth = ground_truth_dependencies(multi_rate_design())
+        assert str(truth.value("a0", "b0")) == "||"
+        assert str(truth.value("a1", "b1")) == "||"
+        assert str(truth.value("a0", "a1")) == "->"
+
+    def test_diamond_join_certain(self):
+        truth = ground_truth_dependencies(diamond_design())
+        assert str(truth.value("src", "join")) == "->"
+        assert str(truth.value("join", "left")) == "<-?"
+
+
+class TestProbability:
+    def test_pipeline_all_certain(self):
+        probabilities = execution_probability(pipeline_design(3))
+        assert all(p == 1.0 for p in probabilities.values())
+
+    def test_figure1_branch_probabilities(self):
+        probabilities = execution_probability(simple_four_task_design())
+        assert probabilities["t1"] == 1.0
+        assert probabilities["t4"] == 1.0
+        assert probabilities["t2"] == pytest.approx(2 / 3)
+        assert probabilities["t3"] == pytest.approx(2 / 3)
+
+
+class TestSporadicSources:
+    def test_sporadic_source_doubles_behaviors(self):
+        from repro.systems.builder import DesignBuilder
+
+        design = (
+            DesignBuilder()
+            .source("stim", wcet=1.0, activation_probability=0.5)
+            .task("react", ecu="e1", wcet=1.0)
+            .message("stim", "react")
+            .build()
+        )
+        behaviors = enumerate_behaviors(design)
+        executed = sorted(sorted(b.executed) for b in behaviors)
+        assert executed == [[], ["react", "stim"]]
+
+    def test_sporadic_weakens_ground_truth_certainty(self):
+        from repro.systems.builder import DesignBuilder
+
+        design = (
+            DesignBuilder()
+            .source("stim", wcet=1.0, activation_probability=0.5)
+            .source("other", ecu="e1", wcet=1.0)
+            .task("react", ecu="e0", wcet=1.0)
+            .message("stim", "react")
+            .build()
+        )
+        truth = ground_truth_dependencies(design)
+        # stim may skip: nothing about 'other' can be certain toward it,
+        # and within the chain stim -> react stays certain (react runs
+        # exactly when stim does).
+        assert str(truth.value("stim", "react")) == "->"
+        assert str(truth.value("other", "stim")) == "||"

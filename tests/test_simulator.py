@@ -1,0 +1,159 @@
+"""Unit and behavior tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.random_exec import WorstCaseExecutionModel
+from repro.sim.simulator import Simulator, SimulatorConfig, simulate_trace
+from repro.systems.builder import DesignBuilder
+from repro.systems.examples import (
+    multi_rate_design,
+    pipeline_design,
+    simple_four_task_design,
+)
+from repro.trace.validate import Severity, validate_trace
+
+
+class TestBasics:
+    def test_pipeline_trace_structure(self):
+        trace = simulate_trace(pipeline_design(3), 4, seed=1)
+        assert len(trace) == 4
+        for period in trace:
+            assert period.executed_tasks == {"s0", "s1", "s2"}
+            assert len(period.messages) == 2
+
+    def test_deterministic_per_seed(self):
+        design = simple_four_task_design()
+        left = simulate_trace(design, 6, seed=9)
+        right = simulate_trace(design, 6, seed=9)
+        for a, b in zip(left.periods, right.periods):
+            assert a.events == b.events
+
+    def test_different_seeds_vary(self):
+        design = simple_four_task_design()
+        left = simulate_trace(design, 6, seed=1)
+        right = simulate_trace(design, 6, seed=2)
+        assert any(
+            a.events != b.events for a, b in zip(left.periods, right.periods)
+        )
+
+    def test_period_count_validation(self):
+        with pytest.raises(ValueError):
+            simulate_trace(pipeline_design(3), 0)
+
+    def test_traces_pass_validation(self):
+        trace = simulate_trace(simple_four_task_design(), 10, seed=3)
+        errors = [
+            d
+            for d in validate_trace(trace)
+            if d.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+
+class TestSemantics:
+    def test_causality_sender_ends_before_rise(self):
+        run = Simulator(simple_four_task_design(), seed=4).run(8)
+        for truth in run.logger.ground_truth:
+            period = run.trace[truth.period_index]
+            sender_end = period.execution_of(truth.sender).end
+            receiver_start = period.execution_of(truth.receiver).start
+            assert sender_end <= truth.rise + 1e-9
+            assert receiver_start >= truth.fall - 1e-9
+
+    def test_only_planned_tasks_execute(self):
+        run = Simulator(simple_four_task_design(), seed=4).run(8)
+        for plan, period in zip(run.plans, run.trace.periods):
+            assert period.executed_tasks == plan.executing
+
+    def test_messages_match_fired_edges(self):
+        run = Simulator(simple_four_task_design(), seed=4).run(8)
+        for plan, period in zip(run.plans, run.trace.periods):
+            assert len(period.messages) == len(plan.fired_edges)
+
+    def test_ground_truth_pairs_are_design_edges(self):
+        design = simple_four_task_design()
+        run = Simulator(design, seed=4).run(8)
+        design_pairs = {(e.sender, e.receiver) for e in design.edges}
+        assert run.logger.true_pairs() <= design_pairs
+
+    def test_independent_chains_can_overlap(self):
+        # Two ECUs run concurrently: some period should show overlapping
+        # executions of the a-chain and b-chain.
+        run = Simulator(multi_rate_design(), seed=2).run(5)
+        overlaps = 0
+        for period in run.trace.periods:
+            a0 = period.execution_of("a0")
+            b0 = period.execution_of("b0")
+            if a0.start < b0.end and b0.start < a0.end:
+                overlaps += 1
+        assert overlaps > 0
+
+    def test_no_messages_cross_period_boundary(self):
+        config = SimulatorConfig(period_length=50.0)
+        run = Simulator(simple_four_task_design(), config, seed=4).run(6)
+        for index, period in enumerate(run.trace.periods):
+            boundary = (index + 1) * config.period_length
+            for message in period.messages:
+                assert message.fall <= boundary
+
+    def test_priority_preemption_observable(self):
+        # Low-priority long task on the same ECU as a high-priority task
+        # released later by a message: the low task's window must contain
+        # the high task's window (preemption stretches it).
+        design = (
+            DesignBuilder()
+            .source("src", ecu="e0", priority=5, wcet=1.0)
+            .source("long", ecu="e1", priority=1, wcet=8.0)
+            .task("high", ecu="e1", priority=9, wcet=1.0)
+            .message("src", "high")
+            .build()
+        )
+        run = Simulator(
+            design,
+            SimulatorConfig(period_length=50.0),
+            seed=0,
+            exec_model=WorstCaseExecutionModel(),
+        ).run(1)
+        period = run.trace[0]
+        low = period.execution_of("long")
+        high = period.execution_of("high")
+        assert low.start < high.start
+        assert high.end < low.end
+        assert low.duration > 8.0  # stretched by preemption
+
+
+class TestFailures:
+    def test_period_too_short_detected(self):
+        config = SimulatorConfig(period_length=2.0)
+        with pytest.raises(SimulationError, match="period_length"):
+            Simulator(pipeline_design(4), config, seed=0).run(1)
+
+
+class TestConfig:
+    def test_logger_resolution_applied(self):
+        config = SimulatorConfig(period_length=50.0, logger_resolution=0.5)
+        trace = simulate_trace(simple_four_task_design(), 3, config, seed=1)
+        for period in trace:
+            for event in period.events:
+                assert event.time == pytest.approx(
+                    round(event.time / 0.5) * 0.5
+                )
+
+    def test_source_jitter_shifts_start(self):
+        base = simulate_trace(
+            pipeline_design(3),
+            1,
+            SimulatorConfig(period_length=60.0),
+            seed=3,
+        )
+        jittered = simulate_trace(
+            pipeline_design(3),
+            1,
+            SimulatorConfig(period_length=60.0, source_jitter=5.0),
+            seed=3,
+        )
+        assert (
+            jittered[0].execution_of("s0").start
+            >= base[0].execution_of("s0").start
+        )

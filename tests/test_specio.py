@@ -1,0 +1,95 @@
+"""Unit tests for JSON design specifications."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.systems.examples import simple_four_task_design
+from repro.systems.gm import gm_case_study_design
+from repro.systems.specio import (
+    design_from_dict,
+    design_to_dict,
+    dumps_design,
+    loads_design,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [simple_four_task_design, gm_case_study_design]
+    )
+    def test_roundtrip_preserves_everything(self, factory):
+        original = factory()
+        recovered = loads_design(dumps_design(original))
+        assert recovered.task_names == original.task_names
+        assert recovered.edges == original.edges
+        for name in original.task_names:
+            assert recovered.task(name) == original.task(name)
+
+    def test_simulation_identical_after_roundtrip(self):
+        from repro.sim.simulator import Simulator, SimulatorConfig
+
+        original = simple_four_task_design()
+        recovered = loads_design(dumps_design(original))
+        config = SimulatorConfig(period_length=50.0)
+        left = Simulator(original, config, seed=3).run(5).trace
+        right = Simulator(recovered, config, seed=3).run(5).trace
+        for a, b in zip(left.periods, right.periods):
+            assert a.events == b.events
+
+
+class TestValidation:
+    def test_bad_json(self):
+        with pytest.raises(ModelError, match="invalid JSON"):
+            loads_design("{oops")
+
+    def test_bad_format(self):
+        with pytest.raises(ModelError, match="format"):
+            design_from_dict({"format": "zzz", "version": 1})
+
+    def test_bad_version(self):
+        with pytest.raises(ModelError, match="version"):
+            design_from_dict({"format": "repro-design", "version": 9})
+
+    def test_unknown_task_field_rejected(self):
+        data = design_to_dict(simple_four_task_design())
+        data["tasks"][0]["wcett"] = 5.0  # typo
+        with pytest.raises(ModelError, match="unknown task fields"):
+            design_from_dict(data)
+
+    def test_unknown_edge_field_rejected(self):
+        data = design_to_dict(simple_four_task_design())
+        data["edges"][0]["pri"] = 1
+        with pytest.raises(ModelError, match="unknown edge fields"):
+            design_from_dict(data)
+
+    def test_missing_name(self):
+        with pytest.raises(ModelError, match="without a name"):
+            design_from_dict(
+                {"format": "repro-design", "version": 1,
+                 "tasks": [{"ecu": "e0"}], "edges": []}
+            )
+
+    def test_bad_branch_mode(self):
+        data = design_to_dict(simple_four_task_design())
+        data["tasks"][0]["branch_mode"] = "whenever"
+        with pytest.raises(ModelError, match="branch mode"):
+            design_from_dict(data)
+
+    def test_design_validation_still_applies(self):
+        # The spec loader re-validates: cyclic specs are rejected.
+        data = {
+            "format": "repro-design",
+            "version": 1,
+            "tasks": [
+                {"name": "a", "source": True},
+                {"name": "b"},
+                {"name": "c"},
+            ],
+            "edges": [
+                {"from": "a", "to": "b"},
+                {"from": "b", "to": "c"},
+                {"from": "c", "to": "b"},
+            ],
+        }
+        with pytest.raises(ModelError, match="cyclic"):
+            design_from_dict(data)

@@ -1,0 +1,41 @@
+"""Unit tests for the static transitive-closure baseline."""
+
+from repro.baselines.static_closure import static_dependencies
+from repro.systems.examples import (
+    multi_rate_design,
+    pipeline_design,
+    simple_four_task_design,
+)
+from repro.systems.semantics import ground_truth_dependencies
+
+
+class TestStaticClosure:
+    def test_pipeline_all_certain(self):
+        static = static_dependencies(pipeline_design(3))
+        assert str(static.value("s0", "s1")) == "->"
+        assert str(static.value("s0", "s2")) == "->"
+        assert str(static.value("s2", "s0")) == "<-"
+
+    def test_conditional_paths_probable(self):
+        static = static_dependencies(simple_four_task_design())
+        assert str(static.value("t1", "t2")) == "->?"
+        assert str(static.value("t1", "t3")) == "->?"
+
+    def test_paper_gap_t1_t4(self):
+        # The paper's point: static closure cannot see that all branch
+        # alternatives converge, so it reports only ->? where the
+        # behavior-aware truth (and the learner) prove ->.
+        static = static_dependencies(simple_four_task_design())
+        truth = ground_truth_dependencies(simple_four_task_design())
+        assert str(static.value("t1", "t4")) == "->?"
+        assert str(truth.value("t1", "t4")) == "->"
+
+    def test_static_is_more_general_than_truth(self):
+        design = simple_four_task_design()
+        truth = ground_truth_dependencies(design)
+        static = static_dependencies(design)
+        assert truth.leq(static)
+
+    def test_unrelated_tasks_parallel(self):
+        static = static_dependencies(multi_rate_design())
+        assert str(static.value("a0", "b1")) == "||"

@@ -1,0 +1,63 @@
+"""Unit tests for co-execution statistics."""
+
+import pytest
+
+from repro.core.stats import CoExecutionStats
+
+
+class TestStats:
+    def test_initial_state(self):
+        stats = CoExecutionStats(("a", "b"))
+        assert stats.period_count == 0
+        assert stats.always_implies("a", "b")
+        assert stats.exclusive_count("a", "b") == 0
+
+    def test_coexecution_keeps_always(self):
+        stats = CoExecutionStats(("a", "b"))
+        stats.add_period({"a", "b"})
+        stats.add_period({"a", "b"})
+        assert stats.always_implies("a", "b")
+        assert stats.always_implies("b", "a")
+
+    def test_exclusive_breaks_always_one_direction(self):
+        stats = CoExecutionStats(("a", "b"))
+        stats.add_period({"a", "b"})
+        stats.add_period({"a"})
+        assert not stats.always_implies("a", "b")
+        assert stats.always_implies("b", "a")
+        assert stats.exclusive_count("a", "b") == 1
+        assert stats.exclusive_count("b", "a") == 0
+
+    def test_execution_counts(self):
+        stats = CoExecutionStats(("a", "b", "c"))
+        stats.add_period({"a"})
+        stats.add_period({"a", "b"})
+        assert stats.execution_count("a") == 2
+        assert stats.execution_count("b") == 1
+        assert stats.execution_count("c") == 0
+
+    def test_vacuous_always_for_never_running(self):
+        stats = CoExecutionStats(("a", "b"))
+        stats.add_period({"b"})
+        assert stats.always_implies("a", "b")
+
+    def test_version_increments_per_period(self):
+        stats = CoExecutionStats(("a",))
+        version = stats.version
+        stats.add_period({"a"})
+        assert stats.version == version + 1
+
+    def test_unknown_task_rejected(self):
+        stats = CoExecutionStats(("a",))
+        with pytest.raises(ValueError):
+            stats.add_period({"zz"})
+
+    def test_snapshot_is_independent(self):
+        stats = CoExecutionStats(("a", "b"))
+        stats.add_period({"a"})
+        copy = stats.snapshot()
+        stats.add_period({"b"})
+        assert copy.period_count == 1
+        assert stats.period_count == 2
+        assert copy.exclusive_count("b", "a") == 0
+        assert stats.exclusive_count("b", "a") == 1

@@ -1,0 +1,85 @@
+"""Unit tests for streamed trace ingestion."""
+
+import io
+
+import pytest
+
+from repro.core.learner import learn_dependencies
+from repro.errors import TraceParseError
+from repro.trace.streaming import iter_periods, read_header, stream_learn
+from repro.trace.synthetic import paper_figure2_trace
+from repro.trace.textio import dumps_trace
+
+
+def log_stream():
+    return io.StringIO(dumps_trace(paper_figure2_trace()))
+
+
+class TestHeader:
+    def test_reads_tasks(self):
+        header = read_header(log_stream())
+        assert header.tasks == ("t1", "t2", "t3", "t4")
+
+    def test_comments_skipped(self):
+        stream = io.StringIO("# hello\n\ntasks a b\n")
+        assert read_header(stream).tasks == ("a", "b")
+
+    def test_missing_header(self):
+        with pytest.raises(TraceParseError, match="tasks header"):
+            read_header(io.StringIO("period 0\n"))
+
+    def test_empty_stream(self):
+        with pytest.raises(TraceParseError, match="ended"):
+            read_header(io.StringIO(""))
+
+
+class TestIteration:
+    def test_periods_match_batch_loader(self):
+        stream = log_stream()
+        header = read_header(stream)
+        streamed = list(iter_periods(stream, header))
+        batch = paper_figure2_trace()
+        assert len(streamed) == len(batch)
+        for left, right in zip(streamed, batch.periods):
+            assert left.events == right.events
+
+    def test_lazy_yield(self):
+        stream = log_stream()
+        header = read_header(stream)
+        iterator = iter_periods(stream, header)
+        first = next(iterator)
+        assert first.executed("t1")
+        # The rest of the stream is not consumed yet.
+        assert stream.tell() < len(log_stream().getvalue())
+
+    def test_event_before_period_rejected(self):
+        stream = io.StringIO("tasks a\n0.0 task_start a\n")
+        header = read_header(stream)
+        with pytest.raises(TraceParseError, match="before first period"):
+            list(iter_periods(stream, header))
+
+    def test_malformed_event_rejected(self):
+        stream = io.StringIO("tasks a\nperiod 0\nbroken line here oops\n")
+        header = read_header(stream)
+        with pytest.raises(TraceParseError):
+            list(iter_periods(stream, header))
+
+
+class TestStreamLearn:
+    def test_matches_batch_learning(self):
+        streamed = stream_learn(log_stream())
+        batch = learn_dependencies(paper_figure2_trace())
+        assert set(streamed.functions) == set(batch.functions)
+
+    def test_bounded_mode(self):
+        streamed = stream_learn(log_stream(), bound=1)
+        batch = learn_dependencies(paper_figure2_trace(), bound=1)
+        assert streamed.unique == batch.unique
+
+    def test_large_stream_constant_period_memory(self):
+        # Generate a 200-period log and learn without materializing it.
+        from repro.trace.synthetic import serial_chain_trace
+
+        text = dumps_trace(serial_chain_trace(4, 200))
+        result = stream_learn(io.StringIO(text), bound=4)
+        assert result.periods == 200

@@ -1,0 +1,82 @@
+"""Unit tests for synthetic trace builders and the Figure 2 reconstruction."""
+
+from repro.core.candidates import candidate_pairs
+from repro.trace.synthetic import (
+    alternating_branch_trace,
+    build_period,
+    build_trace,
+    paper_figure2_trace,
+    serial_chain_trace,
+)
+
+
+class TestBuilders:
+    def test_build_period(self):
+        period = build_period(
+            [("a", 0.0, 1.0)], [("m", 1.1, 1.4)], index=3
+        )
+        assert period.index == 3
+        assert period.executed("a")
+        assert period.messages[0].label == "m"
+
+    def test_build_trace(self):
+        trace = build_trace(
+            ("a", "b"),
+            [
+                ([("a", 0.0, 1.0)], []),
+                ([("b", 10.0, 11.0)], []),
+            ],
+        )
+        assert len(trace) == 2
+        assert trace[1].index == 1
+
+
+class TestPaperTrace:
+    def test_shape(self):
+        trace = paper_figure2_trace()
+        assert trace.tasks == ("t1", "t2", "t3", "t4")
+        assert len(trace) == 3
+        assert trace.message_count() == 8
+
+    def test_period_task_sets(self):
+        trace = paper_figure2_trace()
+        assert trace[0].executed_tasks == {"t1", "t2", "t4"}
+        assert trace[1].executed_tasks == {"t1", "t3", "t4"}
+        assert trace[2].executed_tasks == {"t1", "t2", "t3", "t4"}
+
+    def test_candidates_match_paper_derivation(self):
+        trace = paper_figure2_trace()
+        period1 = trace[0]
+        m1, m2 = period1.messages
+        assert candidate_pairs(period1, m1) == (("t1", "t2"), ("t1", "t4"))
+        assert candidate_pairs(period1, m2) == (("t1", "t4"), ("t2", "t4"))
+        period2 = trace[1]
+        m3, m4 = period2.messages
+        assert candidate_pairs(period2, m3) == (("t1", "t3"), ("t1", "t4"))
+        assert candidate_pairs(period2, m4) == (("t1", "t4"), ("t3", "t4"))
+        period3 = trace[2]
+        m5, m6, m7, m8 = period3.messages
+        assert candidate_pairs(period3, m5) == (
+            ("t1", "t2"),
+            ("t1", "t3"),
+            ("t1", "t4"),
+        )
+        assert candidate_pairs(period3, m6) == (("t1", "t2"), ("t1", "t4"))
+        expected_late = (("t1", "t4"), ("t2", "t4"), ("t3", "t4"))
+        assert candidate_pairs(period3, m7) == expected_late
+        assert candidate_pairs(period3, m8) == expected_late
+
+
+class TestGeneratedTraces:
+    def test_serial_chain(self):
+        trace = serial_chain_trace(4, 3)
+        assert len(trace) == 3
+        assert trace.message_count() == 9  # 3 messages per period
+        for period in trace:
+            assert period.executed_tasks == {"t0", "t1", "t2", "t3"}
+
+    def test_alternating_branch(self):
+        trace = alternating_branch_trace(4)
+        assert len(trace) == 4
+        assert trace[0].executed("a") and not trace[0].executed("b")
+        assert trace[1].executed("b") and not trace[1].executed("a")

@@ -1,0 +1,91 @@
+"""Unit tests for the textual trace log format."""
+
+import pytest
+
+from repro.errors import TraceParseError
+from repro.trace.synthetic import paper_figure2_trace
+from repro.trace.textio import (
+    dumps_trace,
+    loads_trace,
+    read_trace,
+    save_trace,
+)
+
+
+class TestRoundTrip:
+    def test_paper_trace_roundtrip(self):
+        original = paper_figure2_trace()
+        recovered = loads_trace(dumps_trace(original))
+        assert recovered.tasks == original.tasks
+        assert len(recovered) == len(original)
+        for a, b in zip(original.periods, recovered.periods):
+            assert a.events == b.events
+
+    def test_file_roundtrip(self, tmp_path):
+        original = paper_figure2_trace()
+        path = str(tmp_path / "trace.log")
+        save_trace(original, path)
+        recovered = read_trace(path)
+        assert recovered.tasks == original.tasks
+        assert recovered.message_count() == original.message_count()
+
+    def test_dump_contains_headers(self):
+        text = dumps_trace(paper_figure2_trace())
+        assert "tasks t1 t2 t3 t4" in text
+        assert "period 0" in text
+        assert "period 2" in text
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "# hello\n\ntasks a\nperiod 0\n"
+            "0.0 task_start a\n1.0 task_end a\n"
+        )
+        trace = loads_trace(text)
+        assert trace.tasks == ("a",)
+        assert trace[0].executed("a")
+
+    def test_missing_tasks_header(self):
+        with pytest.raises(TraceParseError, match="no tasks header"):
+            loads_trace("period 0\n")
+
+    def test_duplicate_tasks_header(self):
+        with pytest.raises(TraceParseError, match="duplicate tasks"):
+            loads_trace("tasks a\ntasks b\n")
+
+    def test_event_before_period(self):
+        with pytest.raises(TraceParseError, match="before first period"):
+            loads_trace("tasks a\n0.0 task_start a\n")
+
+    def test_event_before_tasks(self):
+        with pytest.raises(TraceParseError, match="before tasks header"):
+            loads_trace("0.0 task_start a\n")
+
+    def test_nonconsecutive_periods(self):
+        with pytest.raises(TraceParseError, match="consecutive"):
+            loads_trace("tasks a\nperiod 1\n")
+
+    def test_bad_period_index(self):
+        with pytest.raises(TraceParseError, match="not an integer"):
+            loads_trace("tasks a\nperiod x\n")
+
+    def test_bad_time(self):
+        with pytest.raises(TraceParseError, match="not a number"):
+            loads_trace("tasks a\nperiod 0\nxx task_start a\n")
+
+    def test_bad_kind(self):
+        with pytest.raises(TraceParseError, match="unknown event kind"):
+            loads_trace("tasks a\nperiod 0\n0.0 task_begin a\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(TraceParseError, match="expected"):
+            loads_trace("tasks a\nperiod 0\n0.0 task_start\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            loads_trace("tasks a\nperiod 0\n0.0 task_begin a\n")
+        except TraceParseError as error:
+            assert error.line_number == 3
+        else:  # pragma: no cover - the parse must fail
+            pytest.fail("expected TraceParseError")

@@ -1,0 +1,29 @@
+"""Unit tests for time utilities."""
+
+from repro.sim.timebase import TIME_EPSILON, approximately, quantize
+
+
+class TestQuantize:
+    def test_rounds_down(self):
+        assert quantize(1.27, 0.1) == 1.2
+
+    def test_zero_resolution_disables(self):
+        assert quantize(1.2345, 0.0) == 1.2345
+
+    def test_exact_tick_preserved(self):
+        assert quantize(1.2, 0.1) == 1.2
+
+    def test_order_preserved_at_tick_distance(self):
+        a, b = 1.01, 1.12
+        assert quantize(a, 0.1) < quantize(b, 0.1)
+
+
+class TestApproximately:
+    def test_within_epsilon(self):
+        assert approximately(1.0, 1.0 + TIME_EPSILON / 2)
+
+    def test_outside_epsilon(self):
+        assert not approximately(1.0, 1.1)
+
+    def test_custom_epsilon(self):
+        assert approximately(1.0, 1.05, epsilon=0.1)

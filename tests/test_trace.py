@@ -1,0 +1,103 @@
+"""Unit tests for Trace containers and period segmentation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import msg_fall, msg_rise, task_end, task_start
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+
+def one_period(base=0.0, index=0):
+    return Period(
+        [
+            task_start(base, "a"),
+            task_end(base + 1.0, "a"),
+            msg_rise(base + 1.1, "m"),
+            msg_fall(base + 1.3, "m"),
+            task_start(base + 2.0, "b"),
+            task_end(base + 3.0, "b"),
+        ],
+        index=index,
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        trace = Trace(("a", "b"), [one_period()])
+        assert len(trace) == 1
+        assert trace.tasks == ("a", "b")
+        assert trace.message_count() == 1
+
+    def test_universe_can_exceed_observed(self):
+        trace = Trace(("a", "b", "ghost"), [one_period()])
+        assert trace.observed_tasks() == {"a", "b"}
+
+    def test_rejects_duplicate_universe(self):
+        with pytest.raises(TraceError):
+            Trace(("a", "a"), [])
+
+    def test_rejects_foreign_tasks(self):
+        with pytest.raises(TraceError, match="outside the declared universe"):
+            Trace(("a",), [one_period()])
+
+    def test_from_event_periods(self):
+        trace = Trace.from_event_periods(
+            ("a", "b"),
+            [
+                [task_start(0.0, "a"), task_end(1.0, "a")],
+                [task_start(10.0, "b"), task_end(11.0, "b")],
+            ],
+        )
+        assert len(trace) == 2
+        assert trace[1].index == 1
+
+
+class TestSegmentation:
+    def test_from_events_by_period_length(self):
+        events = [
+            task_start(0.0, "a"),
+            task_end(1.0, "a"),
+            task_start(10.0, "a"),
+            task_end(11.0, "a"),
+        ]
+        trace = Trace.from_events(("a",), events, period_length=10.0)
+        assert len(trace) == 2
+        assert trace[0].executed("a") and trace[1].executed("a")
+
+    def test_from_events_empty(self):
+        trace = Trace.from_events(("a",), [], period_length=5.0)
+        assert len(trace) == 0
+
+    def test_from_events_rejects_bad_length(self):
+        with pytest.raises(TraceError):
+            Trace.from_events(("a",), [], period_length=0.0)
+
+    def test_boundary_straddling_task_rejected(self):
+        events = [task_start(9.0, "a"), task_end(11.0, "a")]
+        with pytest.raises(TraceError):
+            Trace.from_events(("a",), events, period_length=10.0)
+
+
+class TestOperations:
+    def test_iteration_and_indexing(self):
+        periods = [one_period(0.0, 0), one_period(10.0, 1)]
+        trace = Trace(("a", "b"), periods)
+        assert [p.index for p in trace] == [0, 1]
+        assert trace[0] is periods[0]
+
+    def test_subtrace(self):
+        trace = Trace(("a", "b"), [one_period(0.0, 0), one_period(10.0, 1)])
+        assert len(trace.subtrace(1)) == 1
+
+    def test_extended_reindexes(self):
+        trace = Trace(("a", "b"), [one_period(0.0, 0)])
+        extended = trace.extended([one_period(10.0, 0)])
+        assert len(extended) == 2
+        assert extended[1].index == 1
+        # Original trace untouched.
+        assert len(trace) == 1
+
+    def test_event_count(self):
+        trace = Trace(("a", "b"), [one_period()])
+        assert trace.event_count() == 6

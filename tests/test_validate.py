@@ -1,0 +1,137 @@
+"""Unit tests for trace validation diagnostics."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.synthetic import build_trace, paper_figure2_trace
+from repro.trace.validate import Severity, assert_valid, validate_trace
+
+
+def errors(diagnostics):
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+class TestValidTraces:
+    def test_paper_trace_has_no_errors(self):
+        assert errors(validate_trace(paper_figure2_trace())) == []
+
+    def test_assert_valid_passes(self):
+        assert_valid(paper_figure2_trace())
+
+
+class TestDetections:
+    def test_orphan_message(self):
+        # Message rises before anything finished: no possible sender.
+        trace = build_trace(
+            ("a", "b"),
+            [
+                (
+                    [("a", 1.0, 2.0), ("b", 3.0, 4.0)],
+                    [("m", 0.1, 0.5)],
+                )
+            ],
+        )
+        found = errors(validate_trace(trace))
+        assert len(found) == 1
+        assert "no possible sender-receiver" in found[0].message
+
+    def test_strict_raises(self):
+        trace = build_trace(
+            ("a", "b"),
+            [([("a", 1.0, 2.0), ("b", 3.0, 4.0)], [("m", 0.1, 0.5)])],
+        )
+        with pytest.raises(TraceError):
+            assert_valid(trace)
+
+    def test_message_without_tasks(self):
+        trace = build_trace(("a",), [([], [("m", 0.1, 0.5)])])
+        found = errors(validate_trace(trace))
+        assert any("no task executed" in d.message for d in found)
+
+    def test_overlapping_periods(self):
+        trace = build_trace(
+            ("a",),
+            [
+                ([("a", 0.0, 10.0)], []),
+                ([("a", 5.0, 6.0)], []),
+            ],
+        )
+        found = errors(validate_trace(trace))
+        assert any("before the previous period ended" in d.message for d in found)
+
+    def test_unique_pair_warning(self):
+        trace = build_trace(
+            ("a", "b"),
+            [([("a", 0.0, 1.0), ("b", 2.0, 3.0)], [("m", 1.1, 1.5)])],
+        )
+        warnings = [
+            d
+            for d in validate_trace(trace)
+            if d.severity is Severity.WARNING and "unique" in d.message
+        ]
+        assert warnings
+
+    def test_never_ran_warning(self):
+        trace = build_trace(
+            ("a", "ghost"), [([("a", 0.0, 1.0)], [])]
+        )
+        warnings = [
+            d for d in validate_trace(trace) if "never observed" in d.message
+        ]
+        assert warnings and warnings[0].period == -1
+
+    def test_zero_duration_message_warning(self):
+        trace = build_trace(
+            ("a", "b"),
+            [([("a", 0.0, 1.0), ("b", 2.0, 3.0)], [("m", 1.2, 1.2)])],
+        )
+        assert any(
+            "zero transmission" in d.message for d in validate_trace(trace)
+        )
+
+    def test_diagnostic_str(self):
+        trace = build_trace(("a", "ghost"), [([("a", 0.0, 1.0)], [])])
+        text = str(validate_trace(trace)[-1])
+        assert "warning" in text and "ghost" in text
+
+
+class TestAmbiguityReport:
+    def test_paper_trace_metrics(self):
+        from repro.trace.validate import ambiguity_report
+
+        report = ambiguity_report(paper_figure2_trace())
+        assert report.message_count == 8
+        assert report.max_candidates == 3
+        assert 2.0 <= report.mean_candidates <= 3.0
+        assert report.determined_messages == 0
+        assert 0.0 < report.saturation < 1.0
+
+    def test_fully_determined_trace(self):
+        from repro.trace.validate import ambiguity_report
+
+        trace = build_trace(
+            ("a", "b"),
+            [([("a", 0.0, 1.0), ("b", 2.0, 3.0)], [("m", 1.1, 1.5)])],
+        )
+        report = ambiguity_report(trace)
+        assert report.determinism_ratio == 1.0
+
+    def test_empty_trace(self):
+        from repro.trace.trace import Trace
+        from repro.trace.validate import ambiguity_report
+
+        report = ambiguity_report(Trace(("a",), []))
+        assert report.message_count == 0
+        assert report.determinism_ratio == 1.0
+
+    def test_tolerance_increases_ambiguity(self):
+        from repro.trace.validate import ambiguity_report
+
+        tight = ambiguity_report(paper_figure2_trace())
+        loose = ambiguity_report(paper_figure2_trace(), tolerance=5.0)
+        assert loose.mean_candidates >= tight.mean_candidates
+
+    def test_str(self):
+        from repro.trace.validate import ambiguity_report
+
+        assert "messages" in str(ambiguity_report(paper_figure2_trace()))
