@@ -2,14 +2,25 @@
 
 Workloads are cached at module scope so pytest-benchmark timing loops
 measure learning/analysis, not simulation.
+
+Setting ``REPRO_BENCH_SMOKE=1`` in the environment shrinks the workloads
+(fewer periods, smaller sweeps) so CI can run the benchmark drivers as a
+correctness smoke without paying full-sweep wall clock. The drivers keep
+their qualitative assertions in smoke mode but relax the absolute-factor
+ones that need full scale.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.bench.workloads import gm_workload, simple_workload
 from repro.trace.synthetic import paper_figure2_trace
+
+#: True when benchmarks run at reduced scale (CI smoke).
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 
 @pytest.fixture(scope="session")
@@ -19,7 +30,7 @@ def paper_trace():
 
 @pytest.fixture(scope="session")
 def gm():
-    return gm_workload()
+    return gm_workload(periods=8) if SMOKE else gm_workload()
 
 
 @pytest.fixture(scope="session")

@@ -32,12 +32,30 @@ def test_e5_scaling_in_messages(benchmark):
             f"m={trace.message_count()}",
             lambda t=trace: learn_bounded(t, BOUND),
         )
-        rows.append([periods, trace.message_count(), measurement.seconds])
+        counters = measurement.value.hot_loop
+        # The asymptotic win made measurable: dirty pairs concentrate in
+        # the early periods and the incremental refresh never falls back
+        # to a from-scratch Definition 8 evaluation.
+        assert counters.weight_refresh_scratch == 0
+        rows.append(
+            [
+                periods,
+                trace.message_count(),
+                measurement.seconds,
+                counters.dirty_pairs,
+                counters.clean_periods,
+            ]
+        )
         seconds.append(measurement.seconds)
     benchmark(learn_bounded, full.trace.subtrace(4), BOUND)
     print()
-    print(format_table(["periods", "messages m", "seconds"], rows,
-                       title="[E5] runtime vs message count (b=16)"))
+    print(format_table(
+        ["periods", "messages m", "seconds", "dirty pairs", "clean periods"],
+        rows,
+        title="[E5] runtime vs message count (b=16)"))
+    # Dirty pairs are one-way flips: growing the trace can only add a
+    # bounded number, so longer runs are dominated by clean periods.
+    assert rows[-1][4] > rows[0][4]
     assert seconds[-1] > seconds[0]
     # Near-linear in m: quadrupling messages must not cost more than ~12x.
     ratio = seconds[-1] / max(seconds[0], 1e-9)
@@ -73,14 +91,23 @@ def test_e5_scaling_in_tasks(benchmark):
             f"t={task_count}",
             lambda w=workload: learn_bounded(w.trace, BOUND),
         )
+        counters = measurement.value.hot_loop
         rows.append(
-            [task_count, workload.trace.message_count(), measurement.seconds]
+            [
+                task_count,
+                workload.trace.message_count(),
+                measurement.seconds,
+                round(counters.mean_candidates, 1),
+                counters.candidates_max,
+            ]
         )
         seconds.append(measurement.seconds)
     benchmark(learn_bounded, scaling_workload(6, periods=6).trace, BOUND)
     print()
-    print(format_table(["tasks t", "messages", "seconds"], rows,
-                       title="[E5] runtime vs task count (b=16, 6 periods)"))
+    print(format_table(
+        ["tasks t", "messages", "seconds", "mean |A_m|", "max |A_m|"],
+        rows,
+        title="[E5] runtime vs task count (b=16, 6 periods)"))
     assert seconds[-1] > seconds[0]
 
 

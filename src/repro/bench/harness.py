@@ -45,3 +45,46 @@ def sweep(
         measure(f"{label}[{parameter}]", lambda p=parameter: call(p))
         for parameter in parameters
     ]
+
+
+@dataclass(frozen=True)
+class Speedup:
+    """A baseline-vs-improved timing comparison (e.g. per-period phases)."""
+
+    label: str
+    baseline_seconds: float
+    improved_seconds: float
+
+    @property
+    def factor(self) -> float:
+        """How many times faster the improved run is (> 1 is a win)."""
+        return self.baseline_seconds / max(self.improved_seconds, 1e-12)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.baseline_seconds:.4f} s -> "
+            f"{self.improved_seconds:.4f} s ({self.factor:.1f}x)"
+        )
+
+
+def per_period_phase(result, phase: str) -> float:
+    """Seconds per period spent in one hot-loop phase of a learning run.
+
+    *result* must carry hot-loop instrumentation (``result.hot_loop``);
+    *phase* is one of ``"stats"``, ``"refresh"``, ``"process"``,
+    ``"post"``.
+    """
+    counters = result.hot_loop
+    if counters is None:
+        raise ValueError("result carries no hot-loop instrumentation")
+    seconds = getattr(counters, f"{phase}_seconds")
+    return seconds / max(counters.periods, 1)
+
+
+def phase_speedup(label: str, baseline, improved, phase: str) -> Speedup:
+    """Compare one per-period phase between two instrumented results."""
+    return Speedup(
+        label=label,
+        baseline_seconds=per_period_phase(baseline, phase),
+        improved_seconds=per_period_phase(improved, phase),
+    )

@@ -48,6 +48,22 @@ def format_series(
     return format_table(["x", name], [list(point) for point in points])
 
 
+def format_hot_loop(counters, title: str | None = None) -> str:
+    """Render a learner's hot-loop instrumentation as an aligned table.
+
+    *counters* is the :class:`~repro.core.instrumentation.HotLoopCounters`
+    snapshot carried on a :class:`~repro.core.result.LearningResult`
+    (``result.hot_loop``). The E2/E5 drivers and ``repro learn
+    --hot-loop`` print this to attest the incremental weight maintenance
+    (zero from-scratch recomputes on clean periods) rather than assert it.
+    """
+    return format_table(
+        ["counter", "value"],
+        counters.as_rows(),
+        title=title or "hot-loop instrumentation",
+    )
+
+
 def shape_check(values: Sequence[float], expect: str) -> bool:
     """Check the qualitative *shape* of a measured series.
 

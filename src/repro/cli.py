@@ -113,6 +113,9 @@ def _build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--graphml", help="write the graph as GraphML")
     learn.add_argument("--model-json", help="write the model as JSON")
     learn.add_argument("--report", help="write a Markdown report")
+    learn.add_argument("--hot-loop", action="store_true",
+                       help="print hot-loop instrumentation (dirty pairs, "
+                       "weight recomputes avoided, phase timings)")
     learn.add_argument("--quiet", action="store_true")
 
     monitor = sub.add_parser(
@@ -198,6 +201,10 @@ def _cmd_learn(args: argparse.Namespace, out: TextIO) -> int:
     if not args.quiet:
         out.write(result.summary() + "\n\n")
         out.write(model.to_table() + "\n")
+    if args.hot_loop and result.hot_loop is not None:
+        from repro.bench.reporting import format_hot_loop
+
+        out.write("\n" + format_hot_loop(result.hot_loop) + "\n")
     if args.dot:
         with open(args.dot, "w", encoding="utf-8") as stream:
             stream.write(DependencyGraph(model).to_dot())

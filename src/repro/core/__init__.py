@@ -19,6 +19,7 @@ from repro.core.checkpoint import (
 from repro.core.exact import ExactLearner, learn_exact
 from repro.core.heuristic import BoundedLearner, learn_bounded
 from repro.core.hypothesis import Hypothesis
+from repro.core.instrumentation import HotLoopCounters
 from repro.core.lattice import DepValue
 from repro.core.learner import learn_dependencies, make_learner
 from repro.core.matching import matches_period, matches_trace
@@ -55,6 +56,7 @@ __all__ = [
     "learn_dependencies",
     "make_learner",
     "LearningResult",
+    "HotLoopCounters",
     "ForbiddenBehavior",
     "VersionSpace",
     "NegativeVerdict",

@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 
 from repro.core.candidates import candidate_pairs
 from repro.core.hypothesis import Hypothesis, Pair
+from repro.core.instrumentation import HotLoopCounters
 from repro.core.result import LearningResult
 from repro.core.stats import CoExecutionStats
 from repro.errors import EmptyHypothesisSpaceError, LearningError
@@ -72,6 +73,7 @@ class ExactLearner:
         self.tolerance = tolerance
         self.max_hypotheses = max_hypotheses
         self._hypotheses: list[Hypothesis] = [Hypothesis.most_specific()]
+        self._counters = HotLoopCounters()
         self._periods = 0
         self._messages = 0
         self._peak = 1
@@ -82,33 +84,58 @@ class ExactLearner:
     # ------------------------------------------------------------------
 
     def feed(self, period: Period) -> None:
-        """Process one instance (period)."""
+        """Process one instance (period).
+
+        All-or-nothing: if the period cannot be absorbed — the hypothesis
+        space empties or the safety cap trips — the learner is restored
+        to its pre-call state so callers can catch the error and keep
+        feeding.
+        """
         started = time.perf_counter()
-        self.stats.add_period(period.executed_tasks)
+        counters = self._counters
+        saved_counters = counters.copy()
+        saved_run = (self._messages, self._peak)
+        dirty = self.stats.add_period(period.executed_tasks)
         current = self._hypotheses
-        for message in period.messages:
-            pairs = candidate_pairs(period, message, self.tolerance)
-            next_generation: dict[tuple[frozenset, frozenset], Hypothesis] = {}
-            for hypothesis in current:
-                for pair in pairs:
-                    if not hypothesis.can_extend(pair):
-                        continue
-                    extended = hypothesis.extend(pair)
-                    next_generation[extended.pairs, extended.period_pairs] = extended
-            if not next_generation:
-                raise EmptyHypothesisSpaceError(self._periods, len(pairs))
-            if len(next_generation) > self.max_hypotheses:
-                raise LearningError(
-                    f"exact learner exceeded {self.max_hypotheses} hypotheses "
-                    f"in period {self._periods}; use the bounded heuristic"
-                )
-            current = list(next_generation.values())
-            self._messages += 1
-            self._peak = max(self._peak, len(current))
+        try:
+            mark = time.perf_counter()
+            counters.stats_seconds += mark - started
+            for message in period.messages:
+                pairs = candidate_pairs(period, message, self.tolerance)
+                counters.observe_candidates(len(pairs))
+                next_generation: dict[tuple[frozenset, frozenset], Hypothesis] = {}
+                for hypothesis in current:
+                    for pair in pairs:
+                        if not hypothesis.can_extend(pair):
+                            continue
+                        extended = hypothesis.extend(pair)
+                        next_generation[extended.pairs, extended.period_pairs] = extended
+                if not next_generation:
+                    raise EmptyHypothesisSpaceError(self._periods, len(pairs))
+                if len(next_generation) > self.max_hypotheses:
+                    raise LearningError(
+                        f"exact learner exceeded {self.max_hypotheses} hypotheses "
+                        f"in period {self._periods}; use the bounded heuristic"
+                    )
+                current = list(next_generation.values())
+                self._messages += 1
+                self._peak = max(self._peak, len(current))
+            counters.process_seconds += time.perf_counter() - mark
+        except Exception:
+            self.stats.remove_period(period.executed_tasks)
+            self._messages, self._peak = saved_run
+            self._counters = saved_counters
+            raise
+        mark = time.perf_counter()
         # Post-processing: drop assumptions, unify, remove redundant.
         minimal = _remove_redundant(h.pairs for h in current)
         self._hypotheses = [Hypothesis(pairs) for pairs in minimal]
+        counters.periods += 1
+        counters.dirty_pairs += len(dirty)
+        if not dirty:
+            counters.clean_periods += 1
         self._periods += 1
+        counters.post_seconds += time.perf_counter() - mark
         self._elapsed += time.perf_counter() - started
 
     def feed_trace(self, trace: Trace | Sequence[Period]) -> None:
@@ -141,6 +168,7 @@ class ExactLearner:
             messages=self._messages,
             peak_hypotheses=self._peak,
             elapsed_seconds=self._elapsed,
+            hot_loop=self._counters.copy(),
         )
 
 

@@ -17,11 +17,20 @@ empirically by ``repro.theory.theorems`` and experiment E4.
 
 Two implementation notes:
 
-* Weights are maintained incrementally. Extending a hypothesis by one pair
-  changes at most two dependency-function entries (the pair and its
-  mirror), so the child's weight is the parent's plus an O(1) delta; a
-  merge adds one delta per pair unique to the second parent. This is what
-  makes the paper's ``O(m b^2 + m b t^2)`` bound reachable in Python.
+* Weights are maintained incrementally, both *within* and *across*
+  periods. Within a period, extending a hypothesis by one pair changes at
+  most two dependency-function entries (the pair and its mirror), so the
+  child's weight is the parent's plus an O(1) delta; a merge adds one
+  delta per pair unique to the second parent. Across periods, the only
+  thing that can change a carried hypothesis's weight is an
+  ``always_implies`` flip, and :meth:`CoExecutionStats.add_period` reports
+  exactly the flipped (*dirty*) ordered pairs — so the per-period refresh
+  applies one O(1) delta per dirty pair intersecting the hypothesis's
+  touched set instead of re-evaluating Definition 8 over all ``t^2``
+  entries. This is what makes the paper's ``O(m b^2 + m b t^2)`` bound
+  reachable in Python; the :class:`~repro.core.instrumentation.HotLoopCounters`
+  carried on the result attest it (zero from-scratch refreshes on periods
+  with no dirty pairs).
 * Merging must preserve a *valid per-period assignment*. A merged
   hypothesis inherits the first parent's per-period assumptions: they are
   a legal distinct assignment of the period's messages so far, and remain
@@ -43,9 +52,10 @@ from typing import Iterable, Sequence
 from repro.core import lattice
 from repro.core.candidates import candidate_pairs
 from repro.core.hypothesis import Hypothesis, Pair
+from repro.core.instrumentation import HotLoopCounters
 from repro.core.result import LearningResult
 from repro.core.stats import CoExecutionStats
-from repro.core.weights import DistanceFunction
+from repro.core.weights import DistanceFunction, square_distance
 from repro.errors import EmptyHypothesisSpaceError
 from repro.trace.period import Period
 from repro.trace.trace import Trace
@@ -118,12 +128,37 @@ def _set_weight(
     stats: CoExecutionStats,
     distance: DistanceFunction = lattice.distance,
 ) -> int:
-    """Weight of a pair set from scratch (used once per period)."""
+    """Weight of a pair set from scratch (the incremental paths' fallback)."""
     touched: set[Pair] = set()
     for a, b in pairs:
         touched.add((a, b))
         touched.add((b, a))
     return sum(distance(_pair_value(pairs, a, b, stats)) for a, b in touched)
+
+
+def _flip_delta(
+    pairs: frozenset[Pair],
+    s: str,
+    r: str,
+    distance: DistanceFunction = lattice.distance,
+) -> int:
+    """Weight change when ``always_implies(s, r)`` flips certain → uncertain.
+
+    Only the weight term of the ordered pair ``(s, r)`` is affected, and
+    only if the pair set touches it. The flipped term's old and new values
+    follow directly from which memberships contribute to it — the
+    statistics need not be consulted at all (that is the point: by the
+    time the delta is applied the old verdict is gone from the stats).
+    """
+    forward = (s, r) in pairs
+    backward = (r, s) in pairs
+    if forward and backward:
+        return distance(lattice.MAY_MUTUAL) - distance(lattice.MUTUAL)
+    if forward:
+        return distance(lattice.MAY_DETERMINE) - distance(lattice.DETERMINES)
+    if backward:
+        return distance(lattice.MAY_DEPEND) - distance(lattice.DEPENDS)
+    return 0
 
 
 class BoundedLearner:
@@ -141,6 +176,12 @@ class BoundedLearner:
         Per-value weight contribution (paper Definition 7 by default);
         see :mod:`repro.core.weights` for alternatives and the
         monotonicity requirement.
+    incremental_weights:
+        When True (the default), carried-over hypothesis weights are
+        refreshed per period by dirty-pair deltas instead of from-scratch
+        Definition 8 evaluation. The False setting re-derives every
+        weight each period — it exists as the differential-testing and
+        benchmarking baseline and learns bit-identical results.
     """
 
     def __init__(
@@ -149,6 +190,7 @@ class BoundedLearner:
         bound: int,
         tolerance: float = 0.0,
         distance: DistanceFunction = lattice.distance,
+        incremental_weights: bool = True,
     ):
         if bound < 1:
             raise ValueError(f"bound must be >= 1, got {bound}")
@@ -156,7 +198,17 @@ class BoundedLearner:
         self.bound = bound
         self.tolerance = tolerance
         self.distance = distance
+        self._incremental = incremental_weights
+        # The default distance is what Hypothesis.weight reports, so only
+        # then may carried weights be primed into its memo.
+        self._prime_memo = incremental_weights and (
+            distance is lattice.distance or distance is square_distance
+        )
         self._hypotheses: list[Hypothesis] = [Hypothesis.most_specific()]
+        #: Carried Definition 8 weight per surviving pair set. The empty
+        #: hypothesis weighs 0 under any statistics and distance.
+        self._weights: dict[frozenset, int] = {frozenset(): 0}
+        self._counters = HotLoopCounters()
         self._periods = 0
         self._messages = 0
         self._peak = 1
@@ -169,23 +221,43 @@ class BoundedLearner:
     # ------------------------------------------------------------------
 
     def feed(self, period: Period) -> None:
-        """Process one instance (period)."""
+        """Process one instance (period).
+
+        All-or-nothing: if any message of the period cannot be matched
+        (:class:`~repro.errors.EmptyHypothesisSpaceError`), the learner is
+        left exactly as it was before the call — the period's statistics
+        are un-absorbed and no counter moves — so online users can catch
+        the error and keep feeding subsequent periods.
+        """
         started = time.perf_counter()
-        self.stats.add_period(period.executed_tasks)
-        # Stats changed, so cached weights are stale: recompute once.
-        entries: list[tuple[Hypothesis, int]] = [
-            (h, _set_weight(h.pairs, self.stats, self.distance))
-            for h in self._hypotheses
-        ]
-        history: list[Sequence[Pair]] = []
-        for message in period.messages:
-            pairs = candidate_pairs(period, message, self.tolerance)
-            if not pairs:
-                raise EmptyHypothesisSpaceError(self._periods)
-            history.append(pairs)
-            entries = self._process_message(entries, pairs, history)
-            self._messages += 1
-            self._peak = max(self._peak, len(entries))
+        counters = self._counters
+        saved_counters = counters.copy()
+        saved_run = (self._messages, self._peak, self._merges)
+        dirty = self.stats.add_period(period.executed_tasks)
+        try:
+            mark = time.perf_counter()
+            counters.stats_seconds += mark - started
+            entries = self._refresh_weights(dirty)
+            now = time.perf_counter()
+            counters.refresh_seconds += now - mark
+            mark = now
+            history: list[Sequence[Pair]] = []
+            for message in period.messages:
+                pairs = candidate_pairs(period, message, self.tolerance)
+                if not pairs:
+                    raise EmptyHypothesisSpaceError(self._periods)
+                counters.observe_candidates(len(pairs))
+                history.append(pairs)
+                entries = self._process_message(entries, pairs, history)
+                self._messages += 1
+                self._peak = max(self._peak, len(entries))
+            counters.process_seconds += time.perf_counter() - mark
+        except Exception:
+            self.stats.remove_period(period.executed_tasks)
+            self._messages, self._peak, self._merges = saved_run
+            self._counters = saved_counters
+            raise
+        mark = time.perf_counter()
         # Post-processing: drop assumptions and unify equal pair sets.
         # Unlike the exact algorithm, the heuristic keeps dominated
         # hypotheses: deleting a strict generalization can remove pairs
@@ -195,11 +267,55 @@ class BoundedLearner:
         # and equality-unification — redundancy deletion is the only
         # operation that could break it.
         by_pairs: dict[frozenset, Hypothesis] = {}
-        for hypothesis, _weight in entries:
+        weights: dict[frozenset, int] = {}
+        for hypothesis, weight in entries:
             by_pairs[hypothesis.pairs] = hypothesis.end_period()
+            weights[hypothesis.pairs] = weight
         self._hypotheses = list(by_pairs.values())
+        if self._incremental:
+            self._weights = weights
+        if self._prime_memo:
+            version = self.stats.version
+            for hypothesis in self._hypotheses:
+                hypothesis.prime_weight(version, weights[hypothesis.pairs])
+        counters.periods += 1
+        counters.dirty_pairs += len(dirty)
+        if not dirty:
+            counters.clean_periods += 1
         self._periods += 1
+        counters.post_seconds += time.perf_counter() - mark
         self._elapsed += time.perf_counter() - started
+
+    def _refresh_weights(self, dirty: frozenset[Pair]) -> list[tuple[Hypothesis, int]]:
+        """Bring carried hypothesis weights up to date with the new period.
+
+        A carried weight is stale only in the terms of dirty ordered pairs
+        the pair set touches, each a constant-time delta. From-scratch
+        evaluation remains as the fallback for hypotheses without a
+        carried weight (after a checkpoint resume) and as the whole
+        refresh when incremental maintenance is disabled.
+        """
+        counters = self._counters
+        entries: list[tuple[Hypothesis, int]] = []
+        for hypothesis in self._hypotheses:
+            carried = (
+                self._weights.get(hypothesis.pairs)
+                if self._incremental
+                else None
+            )
+            if carried is None:
+                weight = _set_weight(hypothesis.pairs, self.stats, self.distance)
+                counters.weight_refresh_scratch += 1
+                counters.weight_scratch_calls += 1
+            else:
+                weight = carried
+                if dirty:
+                    pairs = hypothesis.pairs
+                    for s, r in dirty:
+                        weight += _flip_delta(pairs, s, r, self.distance)
+                counters.weight_refresh_incremental += 1
+            entries.append((hypothesis, weight))
+        return entries
 
     def _process_message(
         self,
@@ -250,7 +366,9 @@ class BoundedLearner:
                 # claims every candidate of this message. Recompute a
                 # legal assignment for the whole period so far.
                 repaired = self._reassign_period(hypothesis, history)
+                self._counters.reassignments += 1
                 if repaired is not None:
+                    self._counters.weight_scratch_calls += 1
                     insert(
                         repaired,
                         _set_weight(repaired.pairs, self.stats, self.distance),
@@ -349,6 +467,7 @@ class BoundedLearner:
             peak_hypotheses=self._peak,
             elapsed_seconds=self._elapsed,
             merge_count=self._merges,
+            hot_loop=self._counters.copy(),
         )
 
 

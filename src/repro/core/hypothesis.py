@@ -160,6 +160,20 @@ class Hypothesis:
         self._weight_cache = (stats.version, total)
         return total
 
+    def prime_weight(self, version: int, weight: int) -> None:
+        """Seed the :meth:`weight` memo with an externally maintained value.
+
+        The bounded learner carries Definition 8 weights incrementally
+        across periods (dirty-pair deltas, see
+        :meth:`~repro.core.stats.CoExecutionStats.add_period`); priming the
+        memo at the end of each period means a later :meth:`weight` call —
+        e.g. the sort in ``result()`` — never recomputes from scratch on an
+        unchanged stats version. Callers must only prime values computed
+        with the default square distance, which is what :meth:`weight`
+        reports.
+        """
+        self._weight_cache = (version, weight)
+
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------

@@ -1,0 +1,109 @@
+"""Hot-loop instrumentation for the incremental learners.
+
+The bounded heuristic's claim to fame is the polynomial per-period cost
+``O(m b^2 + m b t^2)`` (paper Theorems 2/3); these counters let the
+benchmark drivers *attest* that claim instead of asserting it. Every
+learner carries one :class:`HotLoopCounters` instance, updates it inside
+``feed``, and attaches a snapshot to the
+:class:`~repro.core.result.LearningResult` it returns. Rendering lives in
+:mod:`repro.bench.reporting` (``format_hot_loop``) and behind the CLI's
+``repro learn --hot-loop`` flag.
+
+Counting is cheap (integer adds and ``perf_counter`` reads per phase, not
+per hypothesis), so instrumentation is always on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass
+class HotLoopCounters:
+    """Per-run counters and phase timings of a learner's ``feed`` loop.
+
+    Attributes
+    ----------
+    periods:
+        Periods successfully absorbed (rolled-back periods don't count).
+    messages:
+        Message occurrences processed across those periods.
+    clean_periods:
+        Periods that produced no dirty pairs — on these, the incremental
+        weight refresh does no work beyond reusing carried weights.
+    dirty_pairs:
+        Total dirty ordered pairs reported by
+        :meth:`~repro.core.stats.CoExecutionStats.add_period`; flips are
+        one-way, so this is bounded by ``t^2`` over a whole run.
+    weight_refresh_incremental:
+        Carried-over hypotheses whose weight was refreshed by applying
+        dirty-pair deltas (no from-scratch Definition 8 evaluation).
+    weight_refresh_scratch:
+        Carried-over hypotheses whose weight had to be recomputed from
+        scratch during the per-period refresh (only after a checkpoint
+        resume, or with incremental maintenance disabled).
+    weight_scratch_calls:
+        All from-scratch Definition 8 evaluations anywhere in the hot
+        loop, including per-period repairs of merged lineages.
+    reassignments:
+        Merged-lineage repairs (``_reassign_period`` backtracks).
+    candidates_total / candidates_max:
+        Sum and maximum of candidate-set sizes ``|A_m|`` over processed
+        messages.
+    stats_seconds / refresh_seconds / process_seconds / post_seconds:
+        Wall-clock per phase: statistics update, weight refresh, message
+        processing, and end-of-period post-processing.
+    """
+
+    periods: int = 0
+    messages: int = 0
+    clean_periods: int = 0
+    dirty_pairs: int = 0
+    weight_refresh_incremental: int = 0
+    weight_refresh_scratch: int = 0
+    weight_scratch_calls: int = 0
+    reassignments: int = 0
+    candidates_total: int = 0
+    candidates_max: int = 0
+    stats_seconds: float = 0.0
+    refresh_seconds: float = 0.0
+    process_seconds: float = 0.0
+    post_seconds: float = 0.0
+
+    def observe_candidates(self, size: int) -> None:
+        """Record one message's candidate-set size ``|A_m|``."""
+        self.messages += 1
+        self.candidates_total += size
+        if size > self.candidates_max:
+            self.candidates_max = size
+
+    def copy(self) -> "HotLoopCounters":
+        """An independent snapshot (results must not alias live counters)."""
+        return dataclasses.replace(self)
+
+    @property
+    def mean_candidates(self) -> float:
+        """Mean ``|A_m|`` over all processed messages (0.0 before any)."""
+        if not self.messages:
+            return 0.0
+        return self.candidates_total / self.messages
+
+    def as_rows(self) -> list[tuple[str, object]]:
+        """``(name, value)`` rows for table rendering."""
+        return [
+            ("periods", self.periods),
+            ("messages", self.messages),
+            ("clean periods (no dirty pairs)", self.clean_periods),
+            ("dirty pairs (total)", self.dirty_pairs),
+            ("weight refreshes, incremental", self.weight_refresh_incremental),
+            ("weight refreshes, from scratch", self.weight_refresh_scratch),
+            ("from-scratch weight evaluations", self.weight_scratch_calls),
+            ("period reassignments", self.reassignments),
+            ("candidate pairs (total)", self.candidates_total),
+            ("candidate pairs (max |A_m|)", self.candidates_max),
+            ("stats update (s)", self.stats_seconds),
+            ("weight refresh (s)", self.refresh_seconds),
+            ("message processing (s)", self.process_seconds),
+            ("post-processing (s)", self.post_seconds),
+        ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.depfunc import DependencyFunction, lub_many
 from repro.core.hypothesis import Hypothesis
+from repro.core.instrumentation import HotLoopCounters
 from repro.core.stats import CoExecutionStats
 
 
@@ -44,6 +45,12 @@ class LearningResult:
         algorithm's exponential growth shows up here.
     elapsed_seconds:
         Wall-clock learning time (excludes trace construction).
+    hot_loop:
+        Hot-loop instrumentation snapshot
+        (:class:`~repro.core.instrumentation.HotLoopCounters`): dirty-pair
+        counts, weight-recompute counters, candidate-set sizes, and
+        per-phase timings. ``None`` for results built outside the
+        incremental learners.
     """
 
     functions: list[DependencyFunction]
@@ -56,6 +63,7 @@ class LearningResult:
     peak_hypotheses: int = 0
     elapsed_seconds: float = 0.0
     merge_count: int = field(default=0)
+    hot_loop: HotLoopCounters | None = None
 
     @property
     def converged(self) -> bool:

@@ -17,6 +17,9 @@ from __future__ import annotations
 
 from typing import Iterable
 
+#: An ordered ``(s, r)`` task pair, as used by ``exclusive_count``.
+OrderedPair = tuple[str, str]
+
 
 class CoExecutionStats:
     """Counts, per ordered task pair, periods where one ran without the other.
@@ -26,6 +29,13 @@ class CoExecutionStats:
     paper's certainty condition for both ``d(s, r) = →`` and
     ``d(s, r) = ←`` (both are conditioned on the execution of the pair's
     *first* task).
+
+    Because the exclusive counts only grow, ``always_implies`` can flip at
+    most once per ordered pair — from certain to uncertain — over a whole
+    run. :meth:`add_period` reports exactly the pairs that flipped (the
+    *dirty pairs*), which is what lets the bounded learner maintain
+    Definition 8 weights incrementally instead of recomputing them from
+    scratch every period.
     """
 
     __slots__ = ("_tasks", "_exclusive", "_executions", "_periods", "version")
@@ -48,8 +58,17 @@ class CoExecutionStats:
         """Number of periods folded in so far."""
         return self._periods
 
-    def add_period(self, executed: Iterable[str]) -> None:
-        """Fold one period's executed-task set into the statistics."""
+    def add_period(self, executed: Iterable[str]) -> frozenset[OrderedPair]:
+        """Fold one period's executed-task set into the statistics.
+
+        Returns the set of *dirty ordered pairs*: pairs ``(s, r)`` whose
+        ``always_implies(s, r)`` verdict flipped this period. Counts are
+        monotone, so a flip is always certain → uncertain and happens
+        exactly when ``exclusive_count(s, r)`` leaves zero. Callers that
+        cache anything derived from ``always_implies`` (hypothesis
+        weights, materialized dependency functions) need to re-examine
+        only these pairs.
+        """
         ran = set(executed)
         unknown = ran - set(self._tasks)
         if unknown:
@@ -57,11 +76,49 @@ class CoExecutionStats:
         for task in ran:
             self._executions[task] += 1
         idle = [t for t in self._tasks if t not in ran]
+        dirty: list[OrderedPair] = []
         for s in ran:
             for r in idle:
                 key = (s, r)
-                self._exclusive[key] = self._exclusive.get(key, 0) + 1
+                count = self._exclusive.get(key, 0)
+                if count == 0:
+                    dirty.append(key)
+                self._exclusive[key] = count + 1
         self._periods += 1
+        self.version += 1
+        return frozenset(dirty)
+
+    def remove_period(self, executed: Iterable[str]) -> None:
+        """Reverse the most recent :meth:`add_period` of this executed set.
+
+        Used by the learners to make ``feed`` all-or-nothing: a period
+        whose messages cannot be processed is un-absorbed so the learner
+        stays consistent and can keep feeding. The version counter is
+        *bumped*, not decremented — it must stay monotone so any weight
+        memoized against the rolled-back version can never be mistaken
+        for current.
+        """
+        ran = set(executed)
+        unknown = ran - set(self._tasks)
+        if unknown:
+            raise ValueError(f"unknown tasks in period: {sorted(unknown)}")
+        if self._periods == 0:
+            raise ValueError("no period to remove")
+        for task in ran:
+            self._executions[task] -= 1
+        idle = [t for t in self._tasks if t not in ran]
+        for s in ran:
+            for r in idle:
+                key = (s, r)
+                count = self._exclusive[key] - 1
+                if count:
+                    self._exclusive[key] = count
+                else:
+                    # Drop zero entries so the mapping stays identical to
+                    # one that never saw the period (checkpoints serialize
+                    # only positive counts).
+                    del self._exclusive[key]
+        self._periods -= 1
         self.version += 1
 
     def exclusive_count(self, s: str, r: str) -> int:

@@ -27,9 +27,12 @@ _KINDS = {kind.value: kind for kind in EventKind}
 
 @dataclass(frozen=True)
 class StreamHeader:
-    """The log's leading metadata (currently just the task universe)."""
+    """The log's leading metadata: the task universe, plus how many lines
+    of the stream the header consumed so body diagnostics can report real
+    file positions."""
 
     tasks: tuple[str, ...]
+    line_offset: int = 0
 
 
 def read_header(stream: TextIO) -> StreamHeader:
@@ -45,7 +48,7 @@ def read_header(stream: TextIO) -> StreamHeader:
             )
         if len(fields) < 2:
             raise TraceParseError("tasks header names no tasks", line_number)
-        return StreamHeader(tasks=tuple(fields[1:]))
+        return StreamHeader(tasks=tuple(fields[1:]), line_offset=line_number)
     raise TraceParseError("stream ended before a tasks header")
 
 
@@ -53,13 +56,20 @@ def iter_periods(stream: TextIO, header: StreamHeader) -> Iterator[Period]:
     """Yield periods lazily from the body of a textual trace log.
 
     The stream must be positioned just after the header (see
-    :func:`read_header`). Periods are yielded as soon as their closing
-    boundary (the next ``period`` line or end of stream) is reached, so
-    memory usage is bounded by the largest single period.
+    :func:`read_header`); line numbers in diagnostics continue from the
+    header's ``line_offset``, so they point at the real file line. Periods
+    are yielded as soon as their closing boundary (the next ``period``
+    line or end of stream) is reached, so memory usage is bounded by the
+    largest single period.
+
+    Task events naming a task absent from the header's task universe are
+    rejected here, with the offending line, rather than surfacing later as
+    a bare ``ValueError`` deep inside the learner's statistics update.
     """
+    known_tasks = frozenset(header.tasks)
     current: list[Event] | None = None
     index = 0
-    for line_number, raw in enumerate(stream, start=1):
+    for line_number, raw in enumerate(stream, start=header.line_offset + 1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -84,6 +94,12 @@ def iter_periods(stream: TextIO, header: StreamHeader) -> Iterator[Period]:
         if kind is None:
             raise TraceParseError(
                 f"unknown event kind: {kind_text!r}", line_number
+            )
+        if kind.is_task_event and subject not in known_tasks:
+            raise TraceParseError(
+                f"unknown task {subject!r}: not in the tasks header "
+                f"({', '.join(header.tasks)})",
+                line_number,
             )
         try:
             time = float(time_text)

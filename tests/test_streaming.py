@@ -65,6 +65,55 @@ class TestIteration:
             list(iter_periods(stream, header))
 
 
+class TestLineNumbers:
+    def test_body_error_counts_header_lines(self):
+        # Header consumes three lines (comment, blank, tasks); the broken
+        # line is the fifth line of the stream and must be reported as
+        # such, not as line 2 of the body.
+        stream = io.StringIO("# comment\n\ntasks a b\nperiod 0\nbroken\n")
+        header = read_header(stream)
+        assert header.line_offset == 3
+        with pytest.raises(TraceParseError) as excinfo:
+            list(iter_periods(stream, header))
+        assert excinfo.value.line_number == 5
+
+    def test_first_body_line_follows_header(self):
+        stream = io.StringIO("tasks a\nnonsense\n")
+        header = read_header(stream)
+        with pytest.raises(TraceParseError) as excinfo:
+            list(iter_periods(stream, header))
+        assert excinfo.value.line_number == 2
+
+
+class TestSubjectValidation:
+    def test_unknown_task_subject_rejected(self):
+        stream = io.StringIO(
+            "tasks a b\nperiod 0\n0.0 task_start a\n0.5 task_start ghost\n"
+        )
+        header = read_header(stream)
+        with pytest.raises(TraceParseError, match="ghost") as excinfo:
+            list(iter_periods(stream, header))
+        assert excinfo.value.line_number == 4
+
+    def test_error_names_the_header_tasks(self):
+        stream = io.StringIO("tasks a b\nperiod 0\n1.0 task_end c\n")
+        header = read_header(stream)
+        with pytest.raises(TraceParseError, match="a, b"):
+            list(iter_periods(stream, header))
+
+    def test_message_labels_are_not_validated(self):
+        # Message subjects are free-form labels, not task names.
+        stream = io.StringIO(
+            "tasks a\nperiod 0\n0.0 task_start a\n"
+            "0.5 msg_rise anything_goes\n0.6 msg_fall anything_goes\n"
+            "1.0 task_end a\n"
+        )
+        header = read_header(stream)
+        periods = list(iter_periods(stream, header))
+        assert len(periods) == 1
+        assert periods[0].executed("a")
+
+
 class TestStreamLearn:
     def test_matches_batch_learning(self):
         streamed = stream_learn(log_stream())
