@@ -191,3 +191,33 @@ def test_e2_exact_reference_on_reduced_workload(benchmark, simple):
         f"hypotheses, {len(exact.functions)} most-specific survivors; "
         "exact LUB == heuristic bound-1: OK"
     )
+
+
+def test_e2_sharded_learn_sound_at_paper_scale(benchmark, gm):
+    """Shard-parallel learning on the GM workload: the merged model is
+    sound relative to the sequential LUB (Theorem 2 survives sharding).
+
+    ``REPRO_BENCH_WORKERS`` selects the fan-out (CI smoke runs this once
+    with 2); the merged result must sit at or above the sequential LUB in
+    the lattice, and its statistics must equal the sequential run's.
+    """
+    from repro.core.learner import learn_dependencies
+
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    bound = PAPER_BOUNDS[-1] if SMOKE else 16
+    sequential = learn_bounded(gm.trace, bound)
+    merged = benchmark.pedantic(
+        learn_dependencies,
+        args=(gm.trace,),
+        kwargs={"bound": bound, "workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+    assert sequential.lub().leq(merged.lub())
+    assert merged.workers == workers
+    assert merged.stats.period_count == sequential.stats.period_count
+    loss = merged.lub().weight() - sequential.lub().weight()
+    print(
+        f"\n[E2] sharded learn (workers={workers}, bound={bound}): "
+        f"specificity loss {loss} weight units vs sequential"
+    )

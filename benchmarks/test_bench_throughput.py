@@ -58,3 +58,101 @@ def test_throughput_classification(benchmark, gm):
     lub = learn_bounded(gm.trace, 16).lub()
     kinds = benchmark(classify_all, lub)
     assert len(kinds) == 18
+
+
+def test_throughput_format_registry_round_trip(benchmark, gm):
+    """Write+read each registered trace format through the registry."""
+    import os
+    import tempfile
+
+    from repro.trace.formats import registered_formats
+
+    trace = gm.trace.subtrace(4)
+
+    def round_trip_all():
+        loaded = {}
+        for fmt in registered_formats():
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, f"t{fmt.extensions[0]}")
+                fmt.write(trace, path)
+                loaded[fmt.name] = fmt.read(path)
+        return loaded
+
+    loaded = benchmark.pedantic(round_trip_all, rounds=3, iterations=1)
+    for name, got in loaded.items():
+        assert len(got) == len(trace), name
+        assert got.message_count() == trace.message_count(), name
+
+
+def test_throughput_workers_sweep(benchmark, gm):
+    """Shard-parallel learning: wall clock and specificity vs sequential.
+
+    Records, for workers in (1, 2, 4): wall-clock seconds, speedup over
+    the sequential run, and the merged-vs-sequential specificity delta
+    (Definition 8 weight — 0 means the shard merge lost nothing). The
+    soundness direction (merged >= sequential in the lattice) is asserted
+    unconditionally; the >= 1.5x speedup at 4 workers needs 4 real cores
+    and full scale, so it is gated on cpu count and smoke mode.
+    """
+    import os
+
+    from repro.bench.harness import measure
+    from repro.bench.reporting import format_table
+    from repro.core.learner import learn_dependencies
+
+    from conftest import SMOKE
+
+    bound = 16
+    trace = gm.trace.subtrace(8) if SMOKE else gm.trace
+    sweep_workers = (1, 2, 4)
+
+    measurements = {
+        workers: measure(
+            f"workers={workers}",
+            lambda w=workers: learn_dependencies(trace, bound=bound, workers=w),
+        )
+        for workers in sweep_workers
+    }
+    benchmark.pedantic(
+        learn_dependencies,
+        args=(trace,),
+        kwargs={"bound": bound, "workers": 2},
+        rounds=1,
+        iterations=1,
+    )
+
+    sequential = measurements[1].value.lub()
+    base_seconds = measurements[1].seconds
+    rows = []
+    for workers in sweep_workers:
+        m = measurements[workers]
+        merged = m.value.lub()
+        # Soundness: the merge may generalize, never specialize or drop.
+        assert sequential.leq(merged), f"unsound merge at workers={workers}"
+        rows.append([
+            workers,
+            m.seconds,
+            base_seconds / max(m.seconds, 1e-12),
+            merged.weight() - sequential.weight(),
+        ])
+    print()
+    print(
+        format_table(
+            ["workers", "seconds", "speedup", "specificity loss (weight)"],
+            rows,
+            title="[throughput] shard-parallel learn "
+            f"(bound={bound}, {len(trace)} periods, "
+            f"{trace.message_count()} messages)",
+        )
+    )
+
+    if os.cpu_count() >= 4 and not SMOKE:
+        speedup_at_4 = base_seconds / max(measurements[4].seconds, 1e-12)
+        assert speedup_at_4 >= 1.5, (
+            f"expected >= 1.5x at 4 workers, got {speedup_at_4:.2f}x"
+        )
+    else:
+        print(
+            "[throughput] speedup assertion skipped "
+            f"(cpus={os.cpu_count()}, smoke={SMOKE})"
+        )

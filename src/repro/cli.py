@@ -4,12 +4,18 @@ A small operational surface over the library::
 
     repro simulate gm --periods 27 --out trace.log
     repro validate trace.log
-    repro learn trace.log --bound 32 --dot graph.dot --report report.md
+    repro learn trace.json --bound 32 --workers 4 --dot graph.dot
     repro monitor trace.log --model model.json
 
-Every command reads/writes the textual log format by default; ``--format``
-selects CSV or JSON. ``main()`` returns a process exit code and never
-calls ``sys.exit`` itself, so it is directly testable.
+Every command is a thin handler over :mod:`repro.pipeline`: the argparse
+namespace maps onto a :class:`~repro.pipeline.config.PipelineConfig`,
+the :class:`~repro.pipeline.engine.LearnPipeline` runs the stages, and
+the handler formats the resulting run. Trace formats come from the
+:mod:`repro.trace.formats` registry; when ``--format`` is omitted the
+format is inferred from the file extension (``.csv``, ``.json``,
+``.log``/``.txt``/``.trace``), defaulting to the textual log format.
+``main()`` returns a process exit code and never calls ``sys.exit``
+itself, so it is directly testable.
 """
 
 from __future__ import annotations
@@ -18,16 +24,8 @@ import argparse
 import sys
 from typing import Sequence, TextIO
 
-from repro.analysis.drift import DriftMonitor
-from repro.analysis.graph import DependencyGraph
-from repro.analysis.report import (
-    dumps_model,
-    loads_model,
-    markdown_report,
-    to_graphml,
-)
-from repro.core.learner import learn_dependencies
 from repro.errors import ReproError
+from repro.pipeline import PipelineConfig, run_pipeline
 from repro.sim.simulator import Simulator, SimulatorConfig
 from repro.systems.examples import (
     diamond_design,
@@ -37,9 +35,7 @@ from repro.systems.examples import (
 from repro.systems.gateway import gateway_design
 from repro.systems.gm import gm_case_study_design
 from repro.systems.random_gen import RandomDesignConfig, random_design
-from repro.trace import csvio, jsonio, textio
-from repro.trace.trace import Trace
-from repro.trace.validate import Severity, validate_trace
+from repro.trace.formats import format_names, resolve_format
 
 DESIGNS = {
     "simple": simple_four_task_design,
@@ -50,27 +46,13 @@ DESIGNS = {
 }
 
 
-def _read_trace(path: str, fmt: str) -> Trace:
-    with open(path, "r", encoding="utf-8") as stream:
-        if fmt == "text":
-            return textio.load_trace(stream)
-        if fmt == "csv":
-            return csvio.load_csv(stream)
-        if fmt == "json":
-            return jsonio.load_json(stream)
-    raise ReproError(f"unknown trace format: {fmt}")
-
-
-def _write_trace(trace: Trace, path: str, fmt: str) -> None:
-    with open(path, "w", encoding="utf-8") as stream:
-        if fmt == "text":
-            textio.dump_trace(trace, stream, precision=17)
-        elif fmt == "csv":
-            csvio.dump_csv(trace, stream)
-        elif fmt == "json":
-            jsonio.dump_json(trace, stream)
-        else:
-            raise ReproError(f"unknown trace format: {fmt}")
+def _add_format_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=format_names(),
+        default=None,
+        help="trace format (default: inferred from the file extension)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -93,37 +75,38 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="task count for the random design")
     simulate.add_argument("--period-length", type=float, default=None)
     simulate.add_argument("--out", required=True)
-    simulate.add_argument("--format", choices=("text", "csv", "json"),
-                          default="text")
+    _add_format_flag(simulate)
 
     validate = sub.add_parser("validate", help="check a trace against the MOC")
     validate.add_argument("trace")
-    validate.add_argument("--format", choices=("text", "csv", "json"),
-                          default="text")
+    _add_format_flag(validate)
     validate.add_argument("--tolerance", type=float, default=0.0)
 
     learn = sub.add_parser("learn", help="learn a dependency model")
     learn.add_argument("trace")
-    learn.add_argument("--format", choices=("text", "csv", "json"),
-                       default="text")
+    _add_format_flag(learn)
     learn.add_argument("--bound", type=int, default=None,
                        help="hypothesis bound (omit for the exact algorithm)")
     learn.add_argument("--tolerance", type=float, default=0.0)
+    learn.add_argument("--workers", type=int, default=1,
+                       help="shard-parallel learning processes (requires "
+                       "--bound; the merged model is sound but may be less "
+                       "specific than a sequential run)")
     learn.add_argument("--dot", help="write the dependency graph as DOT")
     learn.add_argument("--graphml", help="write the graph as GraphML")
     learn.add_argument("--model-json", help="write the model as JSON")
     learn.add_argument("--report", help="write a Markdown report")
     learn.add_argument("--hot-loop", action="store_true",
-                       help="print hot-loop instrumentation (dirty pairs, "
-                       "weight recomputes avoided, phase timings)")
+                       help="print per-stage pipeline timings and hot-loop "
+                       "instrumentation (dirty pairs, weight recomputes "
+                       "avoided, phase timings)")
     learn.add_argument("--quiet", action="store_true")
 
     monitor = sub.add_parser(
         "monitor", help="check a trace against a saved model (drift)"
     )
     monitor.add_argument("trace")
-    monitor.add_argument("--format", choices=("text", "csv", "json"),
-                         default="text")
+    _add_format_flag(monitor)
     monitor.add_argument("--model", required=True,
                          help="model JSON written by 'learn --model-json'")
     monitor.add_argument("--tolerance", type=float, default=0.0)
@@ -132,8 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "analyze", help="modes and learning-curve analysis of a trace"
     )
     analyze.add_argument("trace")
-    analyze.add_argument("--format", choices=("text", "csv", "json"),
-                         default="text")
+    _add_format_flag(analyze)
     analyze.add_argument("--bound", type=int, default=16)
     analyze.add_argument("--curve", action="store_true",
                          help="print the per-period learning curve")
@@ -142,8 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "coverage", help="trace coverage against a JSON design spec"
     )
     cover.add_argument("trace")
-    cover.add_argument("--format", choices=("text", "csv", "json"),
-                       default="text")
+    _add_format_flag(cover)
     cover.add_argument("--design-file", required=True)
     return parser
 
@@ -171,7 +152,8 @@ def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
     trace = Simulator(
         design, SimulatorConfig(period_length=length), seed=args.seed
     ).run(args.periods).trace
-    _write_trace(trace, args.out, args.format)
+    fmt = resolve_format(args.format, args.out)
+    fmt.write(trace, args.out)
     out.write(
         f"wrote {len(trace)} periods / {trace.message_count()} messages "
         f"to {args.out}\n"
@@ -180,81 +162,93 @@ def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
-    trace = _read_trace(args.trace, args.format)
-    diagnostics = validate_trace(trace, tolerance=args.tolerance)
-    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
-    for diagnostic in diagnostics:
+    run = run_pipeline(PipelineConfig(
+        source=args.trace,
+        format=args.format,
+        validate=True,
+        learn=False,
+        tolerance=args.tolerance,
+    ))
+    for diagnostic in run.diagnostics:
         out.write(f"{diagnostic}\n")
+    errors = run.validation_errors
+    warnings = len(run.diagnostics) - len(errors)
     out.write(
-        f"{len(trace)} periods, {trace.message_count()} messages: "
-        f"{len(errors)} errors, {len(diagnostics) - len(errors)} warnings\n"
+        f"{len(run.trace)} periods, {run.trace.message_count()} messages: "
+        f"{len(errors)} errors, {warnings} warnings\n"
     )
     return 1 if errors else 0
 
 
 def _cmd_learn(args: argparse.Namespace, out: TextIO) -> int:
-    trace = _read_trace(args.trace, args.format)
-    result = learn_dependencies(
-        trace, bound=args.bound, tolerance=args.tolerance
-    )
-    model = result.lub()
+    run = run_pipeline(PipelineConfig(
+        source=args.trace,
+        format=args.format,
+        bound=args.bound,
+        tolerance=args.tolerance,
+        workers=args.workers,
+        dot=args.dot,
+        graphml=args.graphml,
+        model_json=args.model_json,
+        report=args.report,
+    ))
+    result = run.result
     if not args.quiet:
         out.write(result.summary() + "\n\n")
-        out.write(model.to_table() + "\n")
-    if args.hot_loop and result.hot_loop is not None:
-        from repro.bench.reporting import format_hot_loop
+        out.write(run.model.to_table() + "\n")
+    if args.hot_loop:
+        out.write("\npipeline stages:\n" + run.timing_summary() + "\n")
+        if result.hot_loop is not None:
+            from repro.bench.reporting import format_hot_loop
 
-        out.write("\n" + format_hot_loop(result.hot_loop) + "\n")
-    if args.dot:
-        with open(args.dot, "w", encoding="utf-8") as stream:
-            stream.write(DependencyGraph(model).to_dot())
-        out.write(f"DOT graph written to {args.dot}\n")
-    if args.graphml:
-        with open(args.graphml, "w", encoding="utf-8") as stream:
-            stream.write(to_graphml(model))
-        out.write(f"GraphML written to {args.graphml}\n")
-    if args.model_json:
-        with open(args.model_json, "w", encoding="utf-8") as stream:
-            stream.write(dumps_model(model))
-        out.write(f"model written to {args.model_json}\n")
-    if args.report:
-        with open(args.report, "w", encoding="utf-8") as stream:
-            stream.write(markdown_report(result))
-        out.write(f"report written to {args.report}\n")
+            out.write("\n" + format_hot_loop(result.hot_loop) + "\n")
+    labels = {
+        "dot": "DOT graph",
+        "graphml": "GraphML",
+        "model_json": "model",
+        "report": "report",
+    }
+    for kind, path in run.written:
+        out.write(f"{labels[kind]} written to {path}\n")
     return 0
 
 
 def _cmd_monitor(args: argparse.Namespace, out: TextIO) -> int:
-    trace = _read_trace(args.trace, args.format)
-    with open(args.model, "r", encoding="utf-8") as stream:
-        model = loads_model(stream.read())
-    monitor = DriftMonitor(model, tolerance=args.tolerance)
-    report = monitor.observe_all(trace.periods)
-    out.write(report.summary() + "\n")
-    return 1 if report.anomaly_count else 0
+    run = run_pipeline(PipelineConfig(
+        source=args.trace,
+        format=args.format,
+        learn=False,
+        tolerance=args.tolerance,
+        model_path=args.model,
+    ))
+    out.write(run.drift.summary() + "\n")
+    return 1 if run.drift.anomaly_count else 0
 
 
 def _cmd_analyze(args: argparse.Namespace, out: TextIO) -> int:
-    from repro.analysis.convergence import learning_curve
-    from repro.analysis.modes import extract_modes
-
-    trace = _read_trace(args.trace, args.format)
-    out.write(extract_modes(trace).summary() + "\n")
-    if args.curve:
-        out.write("\n" + learning_curve(trace, bound=args.bound).summary() + "\n")
+    run = run_pipeline(PipelineConfig(
+        source=args.trace,
+        format=args.format,
+        learn=False,
+        analyze_modes=True,
+        analyze_curve=args.curve,
+        curve_bound=args.bound,
+    ))
+    out.write(run.modes.summary() + "\n")
+    if run.curve is not None:
+        out.write("\n" + run.curve.summary() + "\n")
     return 0
 
 
 def _cmd_coverage(args: argparse.Namespace, out: TextIO) -> int:
-    from repro.analysis.coverage import coverage
-    from repro.systems.specio import load_design
-
-    trace = _read_trace(args.trace, args.format)
-    with open(args.design_file, "r", encoding="utf-8") as stream:
-        design = load_design(stream)
-    report = coverage(trace, design)
-    out.write(report.summary() + "\n")
-    return 0 if report.exhaustive else 1
+    run = run_pipeline(PipelineConfig(
+        source=args.trace,
+        format=args.format,
+        learn=False,
+        design_path=args.design_file,
+    ))
+    out.write(run.coverage.summary() + "\n")
+    return 0 if run.coverage.exhaustive else 1
 
 
 def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:

@@ -32,6 +32,7 @@ from repro.core.negative import (
     violated_arrows,
 )
 from repro.core.result import LearningResult
+from repro.core.sharded import learn_bounded_sharded
 from repro.core.stats import CoExecutionStats
 from repro.core.weights import (
     NAMED_DISTANCES,
@@ -53,6 +54,7 @@ __all__ = [
     "BoundedLearner",
     "learn_exact",
     "learn_bounded",
+    "learn_bounded_sharded",
     "learn_dependencies",
     "make_learner",
     "LearningResult",

@@ -1,0 +1,128 @@
+"""Shared scaffold of the incremental learners.
+
+:class:`ExactLearner` and :class:`BoundedLearner` used to duplicate the
+entire ``feed`` envelope: snapshot the counters, fold the period into the
+co-execution statistics, process the messages, and — on any failure —
+un-absorb the period and restore every counter so the call is
+all-or-nothing. Only the middle differs between the two algorithms, so
+this base class owns the envelope and the subclasses supply three hooks:
+
+``_save_run_state()`` / ``_restore_run_state(state)``
+    Capture and restore the algorithm-specific run counters that the
+    message loop mutates (message count, peak set size, merges, ...).
+
+``_absorb(period, dirty, mark)``
+    The per-message hot loop. Receives the dirty ordered pairs reported
+    by :meth:`~repro.core.stats.CoExecutionStats.add_period` and the
+    ``perf_counter`` timestamp at which the statistics phase ended; must
+    account its own phase seconds on ``self._counters``. Whatever it
+    returns is handed to ``_finish_period`` untouched. Raising restores
+    the learner to its pre-call state.
+
+``_finish_period(pending, dirty)``
+    End-of-period post-processing (assumption removal, unification);
+    runs after the all-or-nothing window, so it must not fail on valid
+    state.
+
+The envelope also owns the shared bookkeeping every ``feed`` ends with:
+period/dirty-pair/clean-period counters, the post-processing phase
+timer, and the learner's elapsed-seconds total.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.core.instrumentation import HotLoopCounters
+from repro.core.result import LearningResult
+from repro.core.stats import CoExecutionStats
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+
+class IncrementalLearner:
+    """Base of the incremental learners: all-or-nothing ``feed`` envelope."""
+
+    def __init__(self, tasks: Iterable[str], tolerance: float = 0.0):
+        self.stats = CoExecutionStats(tasks)
+        self.tolerance = tolerance
+        self._counters = HotLoopCounters()
+        self._periods = 0
+        self._messages = 0
+        self._peak = 1
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    def _save_run_state(self) -> object:
+        """Snapshot the run counters the message loop mutates."""
+        raise NotImplementedError
+
+    def _restore_run_state(self, state: object) -> None:
+        """Undo the message loop's counter mutations after a failure."""
+        raise NotImplementedError
+
+    def _absorb(self, period: Period, dirty: frozenset, mark: float) -> object:
+        """Process one period's messages; returns post-processing input."""
+        raise NotImplementedError
+
+    def _finish_period(self, pending: object, dirty: frozenset) -> None:
+        """Drop per-period assumptions and unify the survivors."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    def feed(self, period: Period) -> None:
+        """Process one instance (period).
+
+        All-or-nothing: if the period cannot be absorbed — the hypothesis
+        space empties or a safety cap trips — the learner is restored to
+        its pre-call state (statistics un-absorbed, counters rolled back)
+        so callers can catch the error and keep feeding.
+        """
+        started = time.perf_counter()
+        counters = self._counters
+        saved_counters = counters.copy()
+        saved_run = self._save_run_state()
+        dirty = self.stats.add_period(period.executed_tasks)
+        try:
+            mark = time.perf_counter()
+            counters.stats_seconds += mark - started
+            pending = self._absorb(period, dirty, mark)
+        except Exception:
+            self.stats.remove_period(period.executed_tasks)
+            self._restore_run_state(saved_run)
+            self._counters = saved_counters
+            raise
+        mark = time.perf_counter()
+        self._finish_period(pending, dirty)
+        counters.periods += 1
+        counters.dirty_pairs += len(dirty)
+        if not dirty:
+            counters.clean_periods += 1
+        self._periods += 1
+        counters.post_seconds += time.perf_counter() - mark
+        self._elapsed += time.perf_counter() - started
+
+    def feed_trace(self, trace: Trace | Sequence[Period]) -> None:
+        """Process every period of *trace* in order."""
+        periods = trace.periods if isinstance(trace, Trace) else trace
+        for period in periods:
+            self.feed(period)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def hypothesis_count(self) -> int:
+        return len(self._hypotheses)  # type: ignore[attr-defined]
+
+    def result(self) -> LearningResult:
+        """The current hypothesis set as a result object."""
+        raise NotImplementedError

@@ -17,13 +17,12 @@ unavoidable for an exact most-specific-set algorithm.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Sequence
+from typing import Iterable
 
+from repro.core.base import IncrementalLearner
 from repro.core.candidates import candidate_pairs
 from repro.core.hypothesis import Hypothesis, Pair
-from repro.core.instrumentation import HotLoopCounters
 from repro.core.result import LearningResult
-from repro.core.stats import CoExecutionStats
 from repro.errors import EmptyHypothesisSpaceError, LearningError
 from repro.trace.period import Period
 from repro.trace.trace import Trace
@@ -45,10 +44,11 @@ def _remove_redundant(pair_sets: Iterable[frozenset[Pair]]) -> list[frozenset[Pa
     return minimal
 
 
-class ExactLearner:
+class ExactLearner(IncrementalLearner):
     """Incremental exact learner over a fixed task universe.
 
-    Feed periods one at a time with :meth:`feed`; read the current
+    Feed periods one at a time with :meth:`feed` (all-or-nothing, see
+    :class:`~repro.core.base.IncrementalLearner`); read the current
     most-specific set at any point with :meth:`result`.
 
     Parameters
@@ -69,88 +69,56 @@ class ExactLearner:
         tolerance: float = 0.0,
         max_hypotheses: int = 2_000_000,
     ):
-        self.stats = CoExecutionStats(tasks)
-        self.tolerance = tolerance
+        super().__init__(tasks, tolerance)
         self.max_hypotheses = max_hypotheses
         self._hypotheses: list[Hypothesis] = [Hypothesis.most_specific()]
-        self._counters = HotLoopCounters()
-        self._periods = 0
-        self._messages = 0
-        self._peak = 1
-        self._elapsed = 0.0
 
     # ------------------------------------------------------------------
-    # Learning
+    # Learning (the base class owns the all-or-nothing envelope)
     # ------------------------------------------------------------------
 
-    def feed(self, period: Period) -> None:
-        """Process one instance (period).
+    def _save_run_state(self) -> object:
+        return (self._messages, self._peak)
 
-        All-or-nothing: if the period cannot be absorbed — the hypothesis
-        space empties or the safety cap trips — the learner is restored
-        to its pre-call state so callers can catch the error and keep
-        feeding.
-        """
-        started = time.perf_counter()
+    def _restore_run_state(self, state: object) -> None:
+        self._messages, self._peak = state
+
+    def _absorb(
+        self, period: Period, dirty: frozenset, mark: float
+    ) -> list[Hypothesis]:
         counters = self._counters
-        saved_counters = counters.copy()
-        saved_run = (self._messages, self._peak)
-        dirty = self.stats.add_period(period.executed_tasks)
         current = self._hypotheses
-        try:
-            mark = time.perf_counter()
-            counters.stats_seconds += mark - started
-            for message in period.messages:
-                pairs = candidate_pairs(period, message, self.tolerance)
-                counters.observe_candidates(len(pairs))
-                next_generation: dict[tuple[frozenset, frozenset], Hypothesis] = {}
-                for hypothesis in current:
-                    for pair in pairs:
-                        if not hypothesis.can_extend(pair):
-                            continue
-                        extended = hypothesis.extend(pair)
-                        next_generation[extended.pairs, extended.period_pairs] = extended
-                if not next_generation:
-                    raise EmptyHypothesisSpaceError(self._periods, len(pairs))
-                if len(next_generation) > self.max_hypotheses:
-                    raise LearningError(
-                        f"exact learner exceeded {self.max_hypotheses} hypotheses "
-                        f"in period {self._periods}; use the bounded heuristic"
-                    )
-                current = list(next_generation.values())
-                self._messages += 1
-                self._peak = max(self._peak, len(current))
-            counters.process_seconds += time.perf_counter() - mark
-        except Exception:
-            self.stats.remove_period(period.executed_tasks)
-            self._messages, self._peak = saved_run
-            self._counters = saved_counters
-            raise
-        mark = time.perf_counter()
-        # Post-processing: drop assumptions, unify, remove redundant.
-        minimal = _remove_redundant(h.pairs for h in current)
-        self._hypotheses = [Hypothesis(pairs) for pairs in minimal]
-        counters.periods += 1
-        counters.dirty_pairs += len(dirty)
-        if not dirty:
-            counters.clean_periods += 1
-        self._periods += 1
-        counters.post_seconds += time.perf_counter() - mark
-        self._elapsed += time.perf_counter() - started
+        for message in period.messages:
+            pairs = candidate_pairs(period, message, self.tolerance)
+            counters.observe_candidates(len(pairs))
+            next_generation: dict[tuple[frozenset, frozenset], Hypothesis] = {}
+            for hypothesis in current:
+                for pair in pairs:
+                    if not hypothesis.can_extend(pair):
+                        continue
+                    extended = hypothesis.extend(pair)
+                    next_generation[extended.pairs, extended.period_pairs] = extended
+            if not next_generation:
+                raise EmptyHypothesisSpaceError(self._periods, len(pairs))
+            if len(next_generation) > self.max_hypotheses:
+                raise LearningError(
+                    f"exact learner exceeded {self.max_hypotheses} hypotheses "
+                    f"in period {self._periods}; use the bounded heuristic"
+                )
+            current = list(next_generation.values())
+            self._messages += 1
+            self._peak = max(self._peak, len(current))
+        counters.process_seconds += time.perf_counter() - mark
+        return current
 
-    def feed_trace(self, trace: Trace | Sequence[Period]) -> None:
-        """Process every period of *trace* in order."""
-        periods = trace.periods if isinstance(trace, Trace) else trace
-        for period in periods:
-            self.feed(period)
+    def _finish_period(self, pending: list[Hypothesis], dirty: frozenset) -> None:
+        # Drop assumptions, unify, remove redundant.
+        minimal = _remove_redundant(h.pairs for h in pending)
+        self._hypotheses = [Hypothesis(pairs) for pairs in minimal]
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
-
-    @property
-    def hypothesis_count(self) -> int:
-        return len(self._hypotheses)
 
     def result(self) -> LearningResult:
         """The current most-specific hypothesis set as a result object."""

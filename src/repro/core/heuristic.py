@@ -50,9 +50,9 @@ import time
 from typing import Iterable, Sequence
 
 from repro.core import lattice
+from repro.core.base import IncrementalLearner
 from repro.core.candidates import candidate_pairs
 from repro.core.hypothesis import Hypothesis, Pair
-from repro.core.instrumentation import HotLoopCounters
 from repro.core.result import LearningResult
 from repro.core.stats import CoExecutionStats
 from repro.core.weights import DistanceFunction, square_distance
@@ -161,7 +161,7 @@ def _flip_delta(
     return 0
 
 
-class BoundedLearner:
+class BoundedLearner(IncrementalLearner):
     """Incremental heuristic learner with a hypothesis bound.
 
     Parameters
@@ -194,9 +194,8 @@ class BoundedLearner:
     ):
         if bound < 1:
             raise ValueError(f"bound must be >= 1, got {bound}")
-        self.stats = CoExecutionStats(tasks)
+        super().__init__(tasks, tolerance)
         self.bound = bound
-        self.tolerance = tolerance
         self.distance = distance
         self._incremental = incremental_weights
         # The default distance is what Hypothesis.weight reports, so only
@@ -208,67 +207,53 @@ class BoundedLearner:
         #: Carried Definition 8 weight per surviving pair set. The empty
         #: hypothesis weighs 0 under any statistics and distance.
         self._weights: dict[frozenset, int] = {frozenset(): 0}
-        self._counters = HotLoopCounters()
-        self._periods = 0
-        self._messages = 0
-        self._peak = 1
         self._merges = 0
-        self._elapsed = 0.0
         self._sequence = itertools.count()
 
     # ------------------------------------------------------------------
-    # Learning
+    # Learning (the base class owns the all-or-nothing envelope)
     # ------------------------------------------------------------------
 
-    def feed(self, period: Period) -> None:
-        """Process one instance (period).
+    def _save_run_state(self) -> object:
+        return (self._messages, self._peak, self._merges)
 
-        All-or-nothing: if any message of the period cannot be matched
-        (:class:`~repro.errors.EmptyHypothesisSpaceError`), the learner is
-        left exactly as it was before the call — the period's statistics
-        are un-absorbed and no counter moves — so online users can catch
-        the error and keep feeding subsequent periods.
-        """
-        started = time.perf_counter()
+    def _restore_run_state(self, state: object) -> None:
+        self._messages, self._peak, self._merges = state
+
+    def _absorb(
+        self, period: Period, dirty: frozenset, mark: float
+    ) -> list[tuple[Hypothesis, int]]:
         counters = self._counters
-        saved_counters = counters.copy()
-        saved_run = (self._messages, self._peak, self._merges)
-        dirty = self.stats.add_period(period.executed_tasks)
-        try:
-            mark = time.perf_counter()
-            counters.stats_seconds += mark - started
-            entries = self._refresh_weights(dirty)
-            now = time.perf_counter()
-            counters.refresh_seconds += now - mark
-            mark = now
-            history: list[Sequence[Pair]] = []
-            for message in period.messages:
-                pairs = candidate_pairs(period, message, self.tolerance)
-                if not pairs:
-                    raise EmptyHypothesisSpaceError(self._periods)
-                counters.observe_candidates(len(pairs))
-                history.append(pairs)
-                entries = self._process_message(entries, pairs, history)
-                self._messages += 1
-                self._peak = max(self._peak, len(entries))
-            counters.process_seconds += time.perf_counter() - mark
-        except Exception:
-            self.stats.remove_period(period.executed_tasks)
-            self._messages, self._peak, self._merges = saved_run
-            self._counters = saved_counters
-            raise
-        mark = time.perf_counter()
-        # Post-processing: drop assumptions and unify equal pair sets.
-        # Unlike the exact algorithm, the heuristic keeps dominated
-        # hypotheses: deleting a strict generalization can remove pairs
-        # from the working list's union that the bound-1 run retains,
-        # which would falsify the paper's Lemma (⊔D*(b) = d*(1)). The
-        # union of kept pair sets is invariant under extension, merging
-        # and equality-unification — redundancy deletion is the only
-        # operation that could break it.
+        entries = self._refresh_weights(dirty)
+        now = time.perf_counter()
+        counters.refresh_seconds += now - mark
+        mark = now
+        history: list[Sequence[Pair]] = []
+        for message in period.messages:
+            pairs = candidate_pairs(period, message, self.tolerance)
+            if not pairs:
+                raise EmptyHypothesisSpaceError(self._periods)
+            counters.observe_candidates(len(pairs))
+            history.append(pairs)
+            entries = self._process_message(entries, pairs, history)
+            self._messages += 1
+            self._peak = max(self._peak, len(entries))
+        counters.process_seconds += time.perf_counter() - mark
+        return entries
+
+    def _finish_period(
+        self, pending: list[tuple[Hypothesis, int]], dirty: frozenset
+    ) -> None:
+        # Drop assumptions and unify equal pair sets. Unlike the exact
+        # algorithm, the heuristic keeps dominated hypotheses: deleting a
+        # strict generalization can remove pairs from the working list's
+        # union that the bound-1 run retains, which would falsify the
+        # paper's Lemma (⊔D*(b) = d*(1)). The union of kept pair sets is
+        # invariant under extension, merging and equality-unification —
+        # redundancy deletion is the only operation that could break it.
         by_pairs: dict[frozenset, Hypothesis] = {}
         weights: dict[frozenset, int] = {}
-        for hypothesis, weight in entries:
+        for hypothesis, weight in pending:
             by_pairs[hypothesis.pairs] = hypothesis.end_period()
             weights[hypothesis.pairs] = weight
         self._hypotheses = list(by_pairs.values())
@@ -278,13 +263,6 @@ class BoundedLearner:
             version = self.stats.version
             for hypothesis in self._hypotheses:
                 hypothesis.prime_weight(version, weights[hypothesis.pairs])
-        counters.periods += 1
-        counters.dirty_pairs += len(dirty)
-        if not dirty:
-            counters.clean_periods += 1
-        self._periods += 1
-        counters.post_seconds += time.perf_counter() - mark
-        self._elapsed += time.perf_counter() - started
 
     def _refresh_weights(self, dirty: frozenset[Pair]) -> list[tuple[Hypothesis, int]]:
         """Bring carried hypothesis weights up to date with the new period.
@@ -436,19 +414,9 @@ class BoundedLearner:
             if entry is not None:
                 return entry
 
-    def feed_trace(self, trace: Trace | Sequence[Period]) -> None:
-        """Process every period of *trace* in order."""
-        periods = trace.periods if isinstance(trace, Trace) else trace
-        for period in periods:
-            self.feed(period)
-
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
-
-    @property
-    def hypothesis_count(self) -> int:
-        return len(self._hypotheses)
 
     def result(self) -> LearningResult:
         """The current hypothesis list as a result object."""

@@ -82,6 +82,21 @@ class HotLoopCounters:
         """An independent snapshot (results must not alias live counters)."""
         return dataclasses.replace(self)
 
+    def merge(self, other: "HotLoopCounters") -> None:
+        """Fold another run's counters into this one (shard merging).
+
+        Sums and maxima compose the obvious way; phase seconds add up to
+        total CPU work across shards (wall clock is tracked separately by
+        the coordinating caller).
+        """
+        for f in dataclasses.fields(self):
+            if f.name == "candidates_max":
+                self.candidates_max = max(self.candidates_max, other.candidates_max)
+            else:
+                setattr(
+                    self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                )
+
     @property
     def mean_candidates(self) -> float:
         """Mean ``|A_m|`` over all processed messages (0.0 before any)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.core.exact import ExactLearner, learn_exact
 from repro.core.heuristic import BoundedLearner, learn_bounded
 from repro.core.result import LearningResult
+from repro.core.sharded import learn_bounded_sharded, require_shardable
 from repro.trace.trace import Trace
 
 
@@ -26,6 +27,7 @@ def learn_dependencies(
     bound: int | None = None,
     tolerance: float = 0.0,
     max_hypotheses: int = 2_000_000,
+    workers: int = 1,
 ) -> LearningResult:
     """Learn the most-specific dependency hypotheses from *trace*.
 
@@ -41,14 +43,24 @@ def learn_dependencies(
         trace's time unit. Use a small epsilon for quantized timestamps.
     max_hypotheses:
         Safety cap for the exact algorithm's working set.
+    workers:
+        ``1`` (the default) learns sequentially — bit-for-bit the classic
+        path. ``N > 1`` requires a bound: the periods are split into
+        ``N`` contiguous shards, each learned in its own process, and the
+        shard outputs merged by LUB (:mod:`repro.core.sharded`). Sound by
+        Theorem 2, but the merged model may be *less specific* than the
+        sequential LUB.
 
     Returns
     -------
     LearningResult
         Surviving hypotheses, their LUB, and run metadata.
     """
+    require_shardable(bound, workers)
     if bound is None:
         return learn_exact(trace, tolerance, max_hypotheses)
+    if workers > 1:
+        return learn_bounded_sharded(trace, bound, tolerance, workers)
     return learn_bounded(trace, bound, tolerance)
 
 
@@ -71,4 +83,5 @@ __all__ = [
     "BoundedLearner",
     "learn_exact",
     "learn_bounded",
+    "learn_bounded_sharded",
 ]

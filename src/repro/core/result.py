@@ -45,6 +45,10 @@ class LearningResult:
         algorithm's exponential growth shows up here.
     elapsed_seconds:
         Wall-clock learning time (excludes trace construction).
+    workers:
+        Number of parallel shards the trace was learned over (1 for the
+        sequential learners). A ``workers > 1`` result is the sound LUB
+        merge of per-shard bounded runs — see :mod:`repro.core.sharded`.
     hot_loop:
         Hot-loop instrumentation snapshot
         (:class:`~repro.core.instrumentation.HotLoopCounters`): dirty-pair
@@ -63,6 +67,7 @@ class LearningResult:
     peak_hypotheses: int = 0
     elapsed_seconds: float = 0.0
     merge_count: int = field(default=0)
+    workers: int = 1
     hot_loop: HotLoopCounters | None = None
 
     @property
@@ -103,7 +108,8 @@ class LearningResult:
         """A short human-readable report of the run."""
         lines = [
             f"algorithm       : {self.algorithm}"
-            + (f" (bound={self.bound})" if self.bound is not None else ""),
+            + (f" (bound={self.bound})" if self.bound is not None else "")
+            + (f" (workers={self.workers})" if self.workers > 1 else ""),
             f"periods         : {self.periods}",
             f"messages        : {self.messages}",
             f"hypotheses left : {len(self.functions)}",

@@ -1,0 +1,223 @@
+"""Shard-parallel bounded learning: split periods, learn, merge by LUB.
+
+The bounded heuristic is sound under least-upper-bound generalization
+(paper Theorem 2): every hypothesis it keeps matches every processed
+instance, and taking a LUB only ever *generalizes*. That gives sharding
+for free on the soundness side — run an independent
+:class:`~repro.core.heuristic.BoundedLearner` over each contiguous chunk
+of the trace's periods and combine the chunk outputs with the lattice
+LUB, and the merged model still matches every period of the whole trace.
+
+The merge is done at the pair-set level, where the LUB is a plain set
+union (see :mod:`repro.core.hypothesis`):
+
+* the merged hypothesis's pair set is the union over shards of the union
+  of each shard's surviving pair sets (each shard's contribution is its
+  own ``⊔D*``, which by the paper's Lemma equals its bound-1 run);
+* the merged co-execution statistics are the *sum* of the shard
+  statistics — per-period counts are order-independent, so the summed
+  statistics are identical to a sequential run's, and the merged model's
+  certain/probable verdicts are judged against the whole trace rather
+  than any single shard.
+
+What sharding can lose is *specificity*, never soundness: a sequential
+run merges lightest-first across the whole trace, a sharded run merges
+within shards only, so the merged LUB may sit higher in the lattice than
+the sequential LUB. (Empirically it rarely does: by the Lemma each
+shard's LUB already equals its bound-1 union, and those unions compose.)
+The differential tests in ``tests/test_sharded.py`` pin both directions:
+``workers=1`` is bit-for-bit the sequential path, and ``workers>=2`` is
+always ``⊒`` the sequential LUB, with the specificity gap quantified by
+the Definition 8 weight.
+
+Workers are OS processes (:class:`concurrent.futures.ProcessPoolExecutor`)
+because the hot loop is pure Python and the GIL would serialize threads.
+Shards are contiguous period ranges so streamed traces shard by reading
+position.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.heuristic import BoundedLearner
+from repro.core.hypothesis import Hypothesis, Pair
+from repro.core.instrumentation import HotLoopCounters
+from repro.core.result import LearningResult
+from repro.core.stats import CoExecutionStats
+from repro.errors import LearningError
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard's learner sends back to the coordinator.
+
+    Deliberately smaller than a full :class:`LearningResult`: the
+    coordinator needs the union pair set (the shard's LUB in pair-set
+    form), the shard statistics, and the run counters — not the shard's
+    materialized functions, which would be judged against shard-local
+    certainty and thrown away anyway.
+    """
+
+    pairs: frozenset[Pair]
+    stats: CoExecutionStats
+    periods: int
+    messages: int
+    peak_hypotheses: int
+    merge_count: int
+    elapsed_seconds: float
+    hot_loop: HotLoopCounters
+
+
+def split_periods(
+    periods: Sequence[Period], shard_count: int
+) -> list[Sequence[Period]]:
+    """Split *periods* into at most *shard_count* contiguous, balanced runs.
+
+    Every shard gets at least one period; sizes differ by at most one.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    count = min(shard_count, len(periods))
+    if count == 0:
+        return []
+    base, extra = divmod(len(periods), count)
+    shards: list[Sequence[Period]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(periods[start:start + size])
+        start += size
+    return shards
+
+
+def learn_shard(
+    tasks: Sequence[str],
+    periods: Sequence[Period],
+    bound: int,
+    tolerance: float,
+) -> ShardOutcome:
+    """Run one shard's bounded learner (executed in a worker process)."""
+    learner = BoundedLearner(tasks, bound, tolerance)
+    learner.feed_trace(periods)
+    union: frozenset[Pair] = frozenset().union(
+        *(h.pairs for h in learner._hypotheses)
+    )
+    return ShardOutcome(
+        pairs=union,
+        stats=learner.stats,
+        periods=learner._periods,
+        messages=learner._messages,
+        peak_hypotheses=learner._peak,
+        merge_count=learner._merges,
+        elapsed_seconds=learner._elapsed,
+        hot_loop=learner._counters.copy(),
+    )
+
+
+def _learn_shard_args(args: tuple) -> ShardOutcome:
+    # ProcessPoolExecutor.map wants a single-argument callable.
+    return learn_shard(*args)
+
+
+def merge_outcomes(
+    tasks: Sequence[str],
+    outcomes: Sequence[ShardOutcome],
+    bound: int,
+    workers: int,
+    elapsed_seconds: float,
+) -> LearningResult:
+    """LUB-merge per-shard outcomes into one learning result."""
+    if not outcomes:
+        # Zero periods: same shape the sequential learner returns on an
+        # empty trace — the single most-specific hypothesis.
+        learner = BoundedLearner(tasks, bound)
+        result = learner.result()
+        result.workers = workers
+        return result
+    stats = CoExecutionStats(tasks)
+    counters = HotLoopCounters()
+    pairs: frozenset[Pair] = frozenset()
+    for outcome in outcomes:
+        stats.merge(outcome.stats)
+        counters.merge(outcome.hot_loop)
+        pairs |= outcome.pairs
+    merged = Hypothesis(pairs)
+    return LearningResult(
+        functions=[merged.to_function(stats)],
+        hypotheses=[merged],
+        stats=stats,
+        algorithm="heuristic",
+        bound=bound,
+        periods=sum(o.periods for o in outcomes),
+        messages=sum(o.messages for o in outcomes),
+        peak_hypotheses=max(o.peak_hypotheses for o in outcomes),
+        elapsed_seconds=elapsed_seconds,
+        merge_count=sum(o.merge_count for o in outcomes),
+        workers=workers,
+        hot_loop=counters,
+    )
+
+
+def learn_bounded_sharded(
+    trace: Trace,
+    bound: int,
+    tolerance: float = 0.0,
+    workers: int = 2,
+) -> LearningResult:
+    """Learn *trace* across *workers* period shards and LUB-merge.
+
+    Sound by construction (LUB only generalizes — Theorem 2); the merged
+    result can be less specific than a sequential run's LUB, never more.
+    ``workers=1`` is not special-cased here on purpose: callers wanting
+    the bit-for-bit sequential path should use
+    :func:`~repro.core.learner.learn_dependencies`, which routes
+    ``workers=1`` to :func:`~repro.core.heuristic.learn_bounded` without
+    touching a process pool.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if bound < 1:
+        raise ValueError(f"bound must be >= 1, got {bound}")
+    started = time.perf_counter()
+    shards = split_periods(trace.periods, workers)
+    if len(shards) <= 1:
+        # One shard (or an empty trace): the pool would only add overhead.
+        outcomes = [
+            learn_shard(trace.tasks, shard, bound, tolerance)
+            for shard in shards
+        ]
+    else:
+        jobs = [(trace.tasks, shard, bound, tolerance) for shard in shards]
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            outcomes = list(pool.map(_learn_shard_args, jobs))
+    return merge_outcomes(
+        trace.tasks,
+        outcomes,
+        bound,
+        workers,
+        time.perf_counter() - started,
+    )
+
+
+def require_shardable(bound: int | None, workers: int) -> None:
+    """Validate a (bound, workers) combination before dispatch.
+
+    The exact algorithm's output is the *most-specific set*, which has no
+    sound cross-shard merge (a LUB of shard-wise most-specific sets is
+    not most-specific); only the bounded heuristic's Theorem 2 soundness
+    survives sharding.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and bound is None:
+        raise LearningError(
+            "workers > 1 requires a hypothesis bound: the exact "
+            "algorithm's most-specific set cannot be soundly merged "
+            "across shards (pass bound=b or workers=1)"
+        )

@@ -138,6 +138,30 @@ class CoExecutionStats:
         """
         return self.exclusive_count(s, r) == 0
 
+    def merge(self, other: "CoExecutionStats") -> None:
+        """Fold another run's counts into this one (shard merging).
+
+        The statistics are pure per-period counts, so folding in the
+        counts of a run over a *disjoint* set of periods yields exactly
+        the statistics of a single run over the union — order never
+        matters. This is what makes shard-parallel learning's LUB merge
+        exact on the certainty dimension: the merged learner judges
+        ``always_implies`` against the whole trace, not one shard.
+
+        The version counter advances by the other run's period count so
+        any weight memoized against a pre-merge version is invalidated.
+        """
+        if self._tasks != other._tasks:
+            raise ValueError(
+                "cannot merge statistics over different task universes"
+            )
+        for key, count in other._exclusive.items():
+            self._exclusive[key] = self._exclusive.get(key, 0) + count
+        for task, count in other._executions.items():
+            self._executions[task] += count
+        self._periods += other._periods
+        self.version += max(other._periods, 1)
+
     def snapshot(self) -> "CoExecutionStats":
         """An independent copy (used by learners that branch exploration)."""
         copy = CoExecutionStats(self._tasks)

@@ -1,0 +1,27 @@
+"""Staged learn pipeline: config-driven composition of the library flow.
+
+* :mod:`repro.pipeline.config` — :class:`PipelineConfig`, the single
+  dataclass that decides which stages run;
+* :mod:`repro.pipeline.engine` — :class:`LearnPipeline` and the
+  :class:`PipelineRun` context it threads through the stages.
+
+The CLI's command handlers are thin adapters over this package: each
+subcommand builds a :class:`PipelineConfig` from its argparse namespace
+and formats the resulting :class:`PipelineRun`.
+"""
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.engine import (
+    LearnPipeline,
+    PipelineRun,
+    StageTiming,
+    run_pipeline,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "LearnPipeline",
+    "PipelineRun",
+    "StageTiming",
+    "run_pipeline",
+]

@@ -31,6 +31,18 @@ from repro.trace.synthetic import (
     serial_chain_trace,
 )
 from repro.trace.trace import Trace
+from repro.trace.formats import (
+    TraceFormat,
+    UnknownFormatError,
+    format_for_path,
+    format_names,
+    get_format,
+    read_trace_file,
+    register_format,
+    registered_formats,
+    resolve_format,
+    write_trace_file,
+)
 from repro.trace.validate import Diagnostic, Severity, assert_valid, validate_trace
 
 __all__ = [
@@ -63,4 +75,14 @@ __all__ = [
     "read_header",
     "iter_periods",
     "stream_learn",
+    "TraceFormat",
+    "UnknownFormatError",
+    "register_format",
+    "registered_formats",
+    "format_names",
+    "get_format",
+    "format_for_path",
+    "resolve_format",
+    "read_trace_file",
+    "write_trace_file",
 ]

@@ -1,0 +1,226 @@
+"""Trace-format registry: one protocol over the interchange formats.
+
+The batch loaders (:mod:`repro.trace.textio`, :mod:`repro.trace.csvio`,
+:mod:`repro.trace.jsonio`) each expose their own function names; every
+consumer that wanted to be format-agnostic (the CLI, the streaming
+helpers, the bench harness) used to re-dispatch with if/elif chains. This
+module replaces those chains with a registry: a :class:`TraceFormat`
+bundles a name, the file extensions it claims, and load/dump callables,
+and :func:`register_format` makes it addressable by name everywhere at
+once::
+
+    from repro.trace.formats import get_format, resolve_format
+
+    fmt = get_format("csv")
+    trace = fmt.load(stream)
+
+    fmt = resolve_format(None, path="bus.json")   # inferred: "json"
+
+Formats that support bounded-memory streaming (currently the textual log)
+also carry a ``streamer`` that yields periods lazily; the others fall back
+to batch loading (see :meth:`TraceFormat.stream_periods`).
+
+The built-in formats — ``text``, ``csv``, ``json`` — are registered at
+import time; external adapters can register their own at runtime (the
+registry is keyed by name, first registration wins unless ``replace``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TextIO
+
+from repro.errors import ReproError
+from repro.trace import csvio, jsonio, textio
+from repro.trace.period import Period
+from repro.trace.trace import Trace
+
+#: Lazy period source: (task universe, period iterator) from an open stream.
+Streamer = Callable[[TextIO], tuple[tuple[str, ...], Iterator[Period]]]
+
+#: The format assumed when neither a name nor a known extension is given.
+DEFAULT_FORMAT = "text"
+
+
+@dataclass(frozen=True)
+class TraceFormat:
+    """One registered trace interchange format.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also the CLI's ``--format`` value.
+    extensions:
+        File extensions (with leading dot, lowercase) that select this
+        format when no explicit name is given.
+    load:
+        ``stream -> Trace`` batch reader.
+    dump:
+        ``(trace, stream) -> None`` writer. Writers must round-trip
+        exactly through ``load`` (up to float formatting).
+    streamer:
+        Optional bounded-memory reader; ``None`` means streaming falls
+        back to a batch load (see :meth:`stream_periods`).
+    """
+
+    name: str
+    extensions: tuple[str, ...]
+    load: Callable[[TextIO], Trace]
+    dump: Callable[[Trace, TextIO], None]
+    streamer: Streamer | None = field(default=None)
+
+    def stream_periods(
+        self, stream: TextIO
+    ) -> tuple[tuple[str, ...], Iterator[Period]]:
+        """Yield the task universe and a lazy period iterator.
+
+        Formats without native streaming support load the whole trace and
+        iterate it — correct for every format, bounded-memory only where a
+        ``streamer`` is registered.
+        """
+        if self.streamer is not None:
+            return self.streamer(stream)
+        trace = self.load(stream)
+        return trace.tasks, iter(trace.periods)
+
+    def read(self, path: str) -> Trace:
+        """Load a trace from the file at *path*."""
+        with open(path, "r", encoding="utf-8") as stream:
+            return self.load(stream)
+
+    def write(self, trace: Trace, path: str) -> None:
+        """Write *trace* to the file at *path*."""
+        with open(path, "w", encoding="utf-8") as stream:
+            self.dump(trace, stream)
+
+
+class UnknownFormatError(ReproError):
+    """No registered trace format matches the requested name."""
+
+    def __init__(self, name: str):
+        self.name = name
+        known = ", ".join(sorted(_REGISTRY))
+        super().__init__(
+            f"unknown trace format: {name!r} (registered: {known})"
+        )
+
+
+_REGISTRY: dict[str, TraceFormat] = {}
+
+
+def register_format(fmt: TraceFormat, replace: bool = False) -> TraceFormat:
+    """Add *fmt* to the registry under its name.
+
+    Re-registering an existing name raises :class:`~repro.errors.ReproError`
+    unless ``replace`` is set (adapters overriding a built-in must opt in
+    explicitly).
+    """
+    if not replace and fmt.name in _REGISTRY:
+        raise ReproError(f"trace format {fmt.name!r} is already registered")
+    _REGISTRY[fmt.name] = fmt
+    return fmt
+
+
+def registered_formats() -> tuple[TraceFormat, ...]:
+    """Every registered format, in name order."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def format_names() -> tuple[str, ...]:
+    """Registered format names, sorted (the CLI's ``--format`` choices)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_format(name: str) -> TraceFormat:
+    """The format registered under *name*; raises :class:`UnknownFormatError`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownFormatError(name) from None
+
+
+def format_for_path(path: str) -> TraceFormat | None:
+    """The format claiming *path*'s extension, or None if unclaimed."""
+    extension = os.path.splitext(path)[1].lower()
+    if not extension:
+        return None
+    for name in sorted(_REGISTRY):
+        if extension in _REGISTRY[name].extensions:
+            return _REGISTRY[name]
+    return None
+
+
+def resolve_format(
+    name: str | None, path: str | None = None, default: str = DEFAULT_FORMAT
+) -> TraceFormat:
+    """Pick a format: an explicit *name* wins, else *path*'s extension,
+    else *default*.
+
+    This is the single inference rule shared by every CLI command and the
+    pipeline's ingest stage.
+    """
+    if name is not None:
+        return get_format(name)
+    if path is not None:
+        inferred = format_for_path(path)
+        if inferred is not None:
+            return inferred
+    return get_format(default)
+
+
+def read_trace_file(path: str, fmt: str | None = None) -> Trace:
+    """Read a trace from *path*, inferring the format when *fmt* is None."""
+    return resolve_format(fmt, path).read(path)
+
+
+def write_trace_file(trace: Trace, path: str, fmt: str | None = None) -> None:
+    """Write *trace* to *path*, inferring the format when *fmt* is None."""
+    resolve_format(fmt, path).write(trace, path)
+
+
+# ----------------------------------------------------------------------
+# Built-in formats
+# ----------------------------------------------------------------------
+
+
+def _stream_text(stream: TextIO) -> tuple[tuple[str, ...], Iterator[Period]]:
+    from repro.trace.streaming import iter_periods, read_header
+
+    header = read_header(stream)
+    return header.tasks, iter_periods(stream, header)
+
+
+def _dump_text(trace: Trace, stream: TextIO) -> None:
+    # Full precision so simulate -> learn round-trips are bit-exact; the
+    # 9-digit default of dumps_trace is for human-facing snippets.
+    textio.dump_trace(trace, stream, precision=17)
+
+
+TEXT = register_format(
+    TraceFormat(
+        name="text",
+        extensions=(".log", ".txt", ".trace"),
+        load=textio.load_trace,
+        dump=_dump_text,
+        streamer=_stream_text,
+    )
+)
+
+CSV = register_format(
+    TraceFormat(
+        name="csv",
+        extensions=(".csv",),
+        load=csvio.load_csv,
+        dump=csvio.dump_csv,
+    )
+)
+
+JSON = register_format(
+    TraceFormat(
+        name="json",
+        extensions=(".json",),
+        load=jsonio.load_json,
+        dump=jsonio.dump_json,
+    )
+)

@@ -116,15 +116,23 @@ def stream_learn(
     stream: TextIO,
     bound: int | None = None,
     tolerance: float = 0.0,
+    format: str = "text",
 ):
-    """One-call streamed learning from an open textual log.
+    """One-call streamed learning from an open trace stream.
+
+    *format* names any entry of the :mod:`repro.trace.formats` registry.
+    The textual log format streams period-by-period (memory bounded by
+    the largest period); formats without a streamer — CSV and JSON must
+    be parsed whole — fall back to a batch load and then feed
+    incrementally, so the learner-side behavior is identical either way.
 
     Returns the finished :class:`~repro.core.result.LearningResult`.
     """
     from repro.core.learner import make_learner
+    from repro.trace.formats import get_format
 
-    header = read_header(stream)
-    learner = make_learner(header.tasks, bound=bound, tolerance=tolerance)
-    for period in iter_periods(stream, header):
+    tasks, periods = get_format(format).stream_periods(stream)
+    learner = make_learner(tasks, bound=bound, tolerance=tolerance)
+    for period in periods:
         learner.feed(period)
     return learner.result()

@@ -214,3 +214,178 @@ class TestCoverage:
         code, output = run_cli("coverage", trace, "--design-file", spec)
         assert code == 1
         assert "exhaustive: False" in output
+
+
+class TestFormatInference:
+    """--format omitted: the registry infers from the file extension."""
+
+    @pytest.mark.parametrize(
+        "suffix,expected", [(".log", "text"), (".txt", "text"),
+                            (".trace", "text"), (".csv", "csv"),
+                            (".json", "json")]
+    )
+    def test_simulate_infers_output_format(self, tmp_path, suffix, expected):
+        from repro.trace.formats import get_format
+
+        path = str(tmp_path / f"t{suffix}")
+        code, _ = run_cli(
+            "simulate", "simple", "--periods", "2", "--out", path
+        )
+        assert code == 0
+        loaded = get_format(expected).read(path)
+        assert len(loaded) == 2
+
+    def test_unknown_extension_defaults_to_text(self, tmp_path):
+        path = str(tmp_path / "t.dat")
+        code, _ = run_cli(
+            "simulate", "simple", "--periods", "2", "--out", path
+        )
+        assert code == 0
+        assert len(read_trace(path)) == 2
+
+    def test_explicit_format_wins_over_extension(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        code, _ = run_cli(
+            "simulate", "simple", "--periods", "2", "--out", path,
+            "--format", "csv",
+        )
+        assert code == 0
+        with open(path, encoding="utf-8") as handle:
+            first = handle.readline()
+        assert first.startswith("period,")  # CSV header, not JSON
+
+    def test_learn_reads_inferred_format(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        run_cli("simulate", "simple", "--periods", "6", "--out", path)
+        code, output = run_cli("learn", path, "--bound", "8")
+        assert code == 0
+        assert "algorithm" in output
+
+
+class TestEverySubcommandEveryFormat:
+    """Round-trip each subcommand through each registered format."""
+
+    @pytest.fixture(params=["text", "csv", "json"])
+    def fmt(self, request):
+        return request.param
+
+    @pytest.fixture
+    def formatted_trace(self, tmp_path, fmt):
+        path = str(tmp_path / f"trace.{fmt}x")  # neutral extension
+        code, _ = run_cli(
+            "simulate", "simple", "--periods", "10", "--seed", "3",
+            "--out", path, "--format", fmt,
+        )
+        assert code == 0
+        return path
+
+    def test_validate(self, formatted_trace, fmt):
+        code, output = run_cli(
+            "validate", formatted_trace, "--format", fmt
+        )
+        assert code == 0
+        assert "0 errors" in output
+
+    def test_learn(self, formatted_trace, fmt):
+        code, output = run_cli(
+            "learn", formatted_trace, "--format", fmt, "--bound", "8"
+        )
+        assert code == 0
+        assert "heuristic" in output
+
+    def test_monitor(self, formatted_trace, fmt, tmp_path):
+        model = str(tmp_path / "m.json")
+        run_cli("learn", formatted_trace, "--format", fmt, "--bound", "8",
+                "--model-json", model, "--quiet")
+        code, output = run_cli(
+            "monitor", formatted_trace, "--format", fmt, "--model", model
+        )
+        assert code == 0
+        assert "0 anomalous" in output
+
+    def test_analyze(self, formatted_trace, fmt):
+        code, output = run_cli(
+            "analyze", formatted_trace, "--format", fmt
+        )
+        assert code == 0
+        assert "operation modes" in output
+
+    def test_coverage(self, formatted_trace, fmt, tmp_path):
+        from repro.systems.examples import simple_four_task_design
+        from repro.systems.specio import dumps_design
+
+        spec = str(tmp_path / "design.json")
+        with open(spec, "w", encoding="utf-8") as handle:
+            handle.write(dumps_design(simple_four_task_design()))
+        code, output = run_cli(
+            "coverage", formatted_trace, "--format", fmt,
+            "--design-file", spec,
+        )
+        assert code in (0, 1)
+        assert "signature coverage" in output
+
+    def test_simulate_round_trips(self, formatted_trace, fmt):
+        from repro.trace.formats import get_format
+
+        loaded = get_format(fmt).read(formatted_trace)
+        assert len(loaded) == 10
+
+
+class TestUnknownFormat:
+    def test_registry_error_path(self, trace_file):
+        """Below argparse: the pipeline rejects unregistered names."""
+        from repro.pipeline import PipelineConfig, run_pipeline
+        from repro.trace.formats import UnknownFormatError
+
+        with pytest.raises(UnknownFormatError, match="yaml"):
+            run_pipeline(
+                PipelineConfig(source=trace_file, format="yaml", bound=4)
+            )
+
+    def test_format_choices_track_registry(self):
+        from repro.cli import _build_parser
+        from repro.trace.formats import format_names
+
+        parser = _build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["learn", "t.log", "--format", "nope"])
+        for name in format_names():
+            args = parser.parse_args(["learn", "t.log", "--format", name])
+            assert args.format == name
+
+
+class TestWorkers:
+    def test_workers_flag_learns(self, trace_file):
+        code, output = run_cli(
+            "learn", trace_file, "--bound", "8", "--workers", "2"
+        )
+        assert code == 0
+        assert "workers=2" in output
+
+    def test_workers_one_output_matches_sequential(self, trace_file):
+        import re
+
+        seq_code, seq_out = run_cli("learn", trace_file, "--bound", "8")
+        par_code, par_out = run_cli(
+            "learn", trace_file, "--bound", "8", "--workers", "1"
+        )
+        assert seq_code == par_code == 0
+        # Identical modulo wall-clock jitter in the elapsed-seconds line.
+        normalize = lambda text: re.sub(r"\d+\.\d+ s", "_ s", text)
+        assert normalize(seq_out) == normalize(par_out)
+
+    def test_workers_without_bound_is_an_error(self, trace_file):
+        code, output = run_cli("learn", trace_file, "--workers", "2")
+        assert code == 2
+        assert "bound" in output
+
+
+class TestHotLoopFlag:
+    def test_prints_stage_timings(self, trace_file):
+        code, output = run_cli(
+            "learn", trace_file, "--bound", "8", "--hot-loop", "--quiet"
+        )
+        assert code == 0
+        assert "pipeline stages:" in output
+        assert "ingest" in output
+        assert "hot loop" in output

@@ -1,0 +1,152 @@
+"""Tests for the trace-format registry."""
+
+import io
+
+import pytest
+
+from repro.errors import ReproError
+from repro.trace import formats
+from repro.trace.formats import (
+    TraceFormat,
+    UnknownFormatError,
+    format_for_path,
+    format_names,
+    get_format,
+    read_trace_file,
+    register_format,
+    registered_formats,
+    resolve_format,
+    write_trace_file,
+)
+from repro.trace.synthetic import paper_figure2_trace
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(format_names()) >= {"text", "csv", "json"}
+
+    def test_get_format_by_name(self):
+        assert get_format("csv").name == "csv"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownFormatError) as info:
+            get_format("yaml")
+        assert "yaml" in str(info.value)
+        assert "text" in str(info.value)  # names the registered ones
+
+    def test_unknown_format_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            get_format("parquet")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError):
+            register_format(formats.TEXT)
+
+    def test_replace_opt_in(self):
+        original = get_format("text")
+        try:
+            replacement = TraceFormat(
+                name="text",
+                extensions=original.extensions,
+                load=original.load,
+                dump=original.dump,
+            )
+            register_format(replacement, replace=True)
+            assert get_format("text") is replacement
+        finally:
+            register_format(original, replace=True)
+
+    def test_registered_formats_sorted(self):
+        names = [fmt.name for fmt in registered_formats()]
+        assert names == sorted(names)
+
+
+class TestExtensionInference:
+    @pytest.mark.parametrize(
+        "path, expected",
+        [
+            ("trace.log", "text"),
+            ("trace.txt", "text"),
+            ("TRACE.LOG", "text"),
+            ("a/b/c.trace", "text"),
+            ("trace.csv", "csv"),
+            ("trace.json", "json"),
+        ],
+    )
+    def test_known_extensions(self, path, expected):
+        fmt = format_for_path(path)
+        assert fmt is not None and fmt.name == expected
+
+    def test_unknown_extension_is_none(self):
+        assert format_for_path("trace.yaml") is None
+        assert format_for_path("trace") is None
+
+    def test_resolve_explicit_name_wins(self):
+        assert resolve_format("json", path="trace.csv").name == "json"
+
+    def test_resolve_falls_back_to_extension(self):
+        assert resolve_format(None, path="trace.csv").name == "csv"
+
+    def test_resolve_default(self):
+        assert resolve_format(None, path="trace.xyz").name == "text"
+        assert resolve_format(None, path=None).name == "text"
+
+    def test_resolve_unknown_name_raises(self):
+        with pytest.raises(UnknownFormatError):
+            resolve_format("yaml", path="trace.log")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", ["text", "csv", "json"])
+    def test_stream_round_trip(self, name):
+        trace = paper_figure2_trace()
+        fmt = get_format(name)
+        buffer = io.StringIO()
+        fmt.dump(trace, buffer)
+        buffer.seek(0)
+        loaded = fmt.load(buffer)
+        assert len(loaded) == len(trace)
+        assert loaded.message_count() == trace.message_count()
+        assert set(loaded.tasks) == set(trace.tasks)
+
+    @pytest.mark.parametrize("name", ["text", "csv", "json"])
+    def test_file_round_trip_inferred(self, tmp_path, name):
+        trace = paper_figure2_trace()
+        extension = get_format(name).extensions[0]
+        path = str(tmp_path / f"trace{extension}")
+        write_trace_file(trace, path)  # inferred from extension
+        loaded = read_trace_file(path)
+        assert len(loaded) == len(trace)
+        assert loaded.message_count() == trace.message_count()
+
+    def test_file_round_trip_explicit_overrides_extension(self, tmp_path):
+        trace = paper_figure2_trace()
+        path = str(tmp_path / "trace.dat")
+        write_trace_file(trace, path, fmt="json")
+        loaded = read_trace_file(path, fmt="json")
+        assert len(loaded) == len(trace)
+
+
+class TestStreaming:
+    def test_text_streams_lazily(self):
+        from repro.trace.textio import dumps_trace
+
+        trace = paper_figure2_trace()
+        tasks, periods = get_format("text").stream_periods(
+            io.StringIO(dumps_trace(trace))
+        )
+        assert tasks == trace.tasks
+        first = next(periods)
+        assert first.executed_tasks == trace[0].executed_tasks
+        assert sum(1 for _ in periods) == len(trace) - 1
+
+    @pytest.mark.parametrize("name", ["csv", "json"])
+    def test_batch_fallback(self, name):
+        trace = paper_figure2_trace()
+        fmt = get_format(name)
+        buffer = io.StringIO()
+        fmt.dump(trace, buffer)
+        buffer.seek(0)
+        tasks, periods = fmt.stream_periods(buffer)
+        assert set(tasks) == set(trace.tasks)
+        assert sum(1 for _ in periods) == len(trace)

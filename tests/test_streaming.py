@@ -132,3 +132,40 @@ class TestStreamLearn:
         text = dumps_trace(serial_chain_trace(4, 200))
         result = stream_learn(io.StringIO(text), bound=4)
         assert result.periods == 200
+
+
+class TestStreamLearnFormats:
+    """stream_learn goes through the trace-format registry."""
+
+    def test_csv_format_batch_fallback(self):
+        from repro.trace import csvio
+
+        trace = paper_figure2_trace()
+        buffer = io.StringIO()
+        csvio.dump_csv(trace, buffer)
+        buffer.seek(0)
+        streamed = stream_learn(buffer, bound=4, format="csv")
+        batch = learn_dependencies(trace, bound=4)
+        assert streamed.lub() == batch.lub()
+
+    def test_json_format_batch_fallback(self):
+        from repro.trace import jsonio
+
+        trace = paper_figure2_trace()
+        buffer = io.StringIO()
+        jsonio.dump_json(trace, buffer)
+        buffer.seek(0)
+        streamed = stream_learn(buffer, bound=4, format="json")
+        batch = learn_dependencies(trace, bound=4)
+        assert streamed.lub() == batch.lub()
+
+    def test_unknown_format_rejected(self):
+        from repro.trace.formats import UnknownFormatError
+
+        with pytest.raises(UnknownFormatError):
+            stream_learn(log_stream(), format="yaml")
+
+    def test_text_format_is_the_default(self):
+        explicit = stream_learn(log_stream(), bound=4, format="text")
+        default = stream_learn(log_stream(), bound=4)
+        assert explicit.lub() == default.lub()
