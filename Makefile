@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-verbose examples all clean
+.PHONY: install test bench bench-verbose bench-json bench-check examples all clean
 
 PYTHON ?= python
 
@@ -13,6 +13,15 @@ bench:
 
 bench-verbose:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Regenerate the committed throughput baseline (BENCH_throughput.json).
+bench-json:
+	$(PYTHON) benchmarks/throughput_json.py
+
+# Soft regression gate: fail if learner throughput dropped > 20% vs the
+# committed baseline. Skips itself on < 4 CPUs or REPRO_BENCH_SMOKE=1.
+bench-check:
+	$(PYTHON) benchmarks/throughput_json.py --check
 
 examples:
 	@for script in examples/*.py; do \

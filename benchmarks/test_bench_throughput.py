@@ -42,6 +42,46 @@ def test_throughput_learner_bound16(benchmark, gm):
     assert result.periods == 8
 
 
+def test_throughput_mask_kernel_speedup(gm):
+    """The interned bitmask kernel vs the retained string-set reference.
+
+    The representation swap must be a pure performance change: identical
+    hypothesis pools, functions and LUB (asserted here on the GM
+    workload, and on randomized traces by the property suite), at >= 1.5x
+    the reference learner's throughput. Single-run wall clock is noisy,
+    so the factor is the best of three runs each; the identity assertion
+    is unconditional.
+    """
+    from repro.bench.harness import measure
+    from repro.core.reference import learn_bounded_reference
+
+    trace = gm.trace.subtrace(8)
+    bound = 16
+    by_seconds = lambda m: m.seconds  # noqa: E731
+    fast = min(
+        (measure("mask", lambda: learn_bounded(trace, bound)) for _ in range(3)),
+        key=by_seconds,
+    )
+    slow = min(
+        (
+            measure("reference", lambda: learn_bounded_reference(trace, bound))
+            for _ in range(3)
+        ),
+        key=by_seconds,
+    )
+    new, ref = fast.value, slow.value
+    assert [h.pairs for h in new.hypotheses] == [h.pairs for h in ref.hypotheses]
+    assert new.functions == ref.functions
+    assert new.lub() == ref.lub()
+    assert new.merge_count == ref.merge_count
+    factor = slow.seconds / max(fast.seconds, 1e-12)
+    print(
+        f"\n[throughput] mask kernel {fast.seconds:.3f}s vs reference "
+        f"{slow.seconds:.3f}s = {factor:.2f}x"
+    )
+    assert factor >= 1.5, f"expected >= 1.5x over the string kernel, got {factor:.2f}x"
+
+
 def test_throughput_streamed_learning(benchmark, gm):
     text = dumps_trace(gm.trace.subtrace(8))
 

@@ -1,0 +1,193 @@
+"""Write the repo's throughput baseline to ``BENCH_throughput.json``.
+
+Measures ops/sec for the three pipelines a user actually pays for —
+simulation, bounded learning, and streamed ingest — plus the reference
+(string-kernel) learner so the mask kernel's speedup factor is recorded
+alongside the absolute numbers. Run via ``make bench-json``::
+
+    python benchmarks/throughput_json.py              # regenerate baseline
+    python benchmarks/throughput_json.py --check      # soft regression gate
+
+``--check`` compares a fresh measurement against the committed baseline
+and exits non-zero if bounded-learner throughput dropped by more than 20%.
+On machines with fewer than 4 CPUs (or under ``REPRO_BENCH_SMOKE=1``) the
+gate is skipped — shared CI runners below that size are too noisy to gate
+on — so CI's smoke job can call ``--check`` unconditionally.
+
+The JSON stores ops/sec (periods simulated, traces learned, periods
+ingested per second), per-benchmark seconds, and the environment facts
+needed to judge comparability (python version, CPU count, workload
+shape). Absolute numbers are machine-dependent; the committed file is a
+trajectory record, not a portable truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.workloads import gm_workload  # noqa: E402
+from repro.core.heuristic import learn_bounded  # noqa: E402
+from repro.core.reference import learn_bounded_reference  # noqa: E402
+from repro.trace.streaming import stream_learn  # noqa: E402
+from repro.trace.textio import dumps_trace  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+LEARNER_BOUND = 16
+#: Fractional throughput drop on the bounded learner that fails --check.
+REGRESSION_TOLERANCE = 0.20
+#: Below this CPU count the gate is advisory only (CI noise floor).
+MIN_CPUS_FOR_GATE = 4
+
+
+def _best_seconds(call, repeats: int = 3) -> float:
+    """Minimum wall clock over *repeats* runs (noise-robust, like timeit)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        call()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_throughput(smoke: bool = False) -> dict:
+    """Fresh ops/sec measurements for the three throughput pipelines."""
+    workload = gm_workload(periods=8) if smoke else gm_workload()
+    trace = workload.trace
+    learn_trace = trace.subtrace(8)
+    trace_text = dumps_trace(trace)
+    repeats = 1 if smoke else 3
+
+    sim_seconds = _best_seconds(
+        lambda: gm_workload.__wrapped__(periods=len(trace.periods)), repeats
+    )
+    learner_seconds = _best_seconds(
+        lambda: learn_bounded(learn_trace, LEARNER_BOUND), repeats
+    )
+    reference_seconds = _best_seconds(
+        lambda: learn_bounded_reference(learn_trace, LEARNER_BOUND), repeats
+    )
+    stream_seconds = _best_seconds(
+        lambda: stream_learn(io.StringIO(trace_text), bound=8), repeats
+    )
+
+    return {
+        "benchmarks": {
+            "simulator_gm": {
+                "seconds": sim_seconds,
+                "ops_per_second": len(trace.periods) / sim_seconds,
+                "unit": "periods/s",
+                "workload": f"gm x{len(trace.periods)} periods",
+            },
+            "learner_bounded": {
+                "seconds": learner_seconds,
+                "ops_per_second": 1.0 / learner_seconds,
+                "unit": "traces/s",
+                "workload": (
+                    f"gm subtrace({len(learn_trace.periods)}), "
+                    f"bound={LEARNER_BOUND}"
+                ),
+                "speedup_vs_reference": reference_seconds / learner_seconds,
+            },
+            "learner_reference": {
+                "seconds": reference_seconds,
+                "ops_per_second": 1.0 / reference_seconds,
+                "unit": "traces/s",
+                "workload": (
+                    f"gm subtrace({len(learn_trace.periods)}), "
+                    f"bound={LEARNER_BOUND}, string kernel"
+                ),
+            },
+            "streamed_ingest": {
+                "seconds": stream_seconds,
+                "ops_per_second": len(trace.periods) / stream_seconds,
+                "unit": "periods/s",
+                "workload": (
+                    f"text stream, {len(trace.periods)} periods, bound=8"
+                ),
+            },
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpus": os.cpu_count(),
+            "smoke": smoke,
+        },
+    }
+
+
+def check_regression(current: dict, baseline: dict) -> list[str]:
+    """Gate failures (empty list = pass): learner throughput vs baseline."""
+    failures = []
+    key = "learner_bounded"
+    now = current["benchmarks"][key]["ops_per_second"]
+    then = baseline["benchmarks"][key]["ops_per_second"]
+    if now < then * (1.0 - REGRESSION_TOLERANCE):
+        failures.append(
+            f"{key}: {now:.2f} ops/s is more than "
+            f"{REGRESSION_TOLERANCE:.0%} below the baseline {then:.2f} ops/s"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(BASELINE_PATH),
+        help="baseline path (default: repo-root BENCH_throughput.json)",
+    )
+    args = parser.parse_args(argv)
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    current = measure_throughput(smoke=smoke)
+
+    for name, row in current["benchmarks"].items():
+        print(
+            f"{name:18s} {row['ops_per_second']:10.2f} {row['unit']:10s}"
+            f" ({row['seconds']:.3f} s)  [{row['workload']}]"
+        )
+
+    if not args.check:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            json.dump(current, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"baseline written to {args.out}")
+        return 0
+
+    cpus = os.cpu_count() or 1
+    if smoke or cpus < MIN_CPUS_FOR_GATE:
+        print(
+            f"regression gate skipped (cpus={cpus}, smoke={smoke}): "
+            "measurement too noisy to gate on"
+        )
+        return 0
+    try:
+        with open(args.out, "r", encoding="utf-8") as stream:
+            baseline = json.load(stream)
+    except FileNotFoundError:
+        print(f"no baseline at {args.out}; run without --check to create one")
+        return 1
+    failures = check_regression(current, baseline)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

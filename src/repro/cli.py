@@ -100,6 +100,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print per-stage pipeline timings and hot-loop "
                        "instrumentation (dirty pairs, weight recomputes "
                        "avoided, phase timings)")
+    learn.add_argument("--profile-json", metavar="PATH",
+                       help="write the run profile (per-stage timings + "
+                       "hot-loop counters) to PATH as JSON")
     learn.add_argument("--quiet", action="store_true")
 
     monitor = sub.add_parser(
@@ -191,6 +194,7 @@ def _cmd_learn(args: argparse.Namespace, out: TextIO) -> int:
         graphml=args.graphml,
         model_json=args.model_json,
         report=args.report,
+        profile_json=args.profile_json,
     ))
     result = run.result
     if not args.quiet:
@@ -210,6 +214,8 @@ def _cmd_learn(args: argparse.Namespace, out: TextIO) -> int:
     }
     for kind, path in run.written:
         out.write(f"{labels[kind]} written to {path}\n")
+    if args.profile_json:
+        out.write(f"profile written to {args.profile_json}\n")
     return 0
 
 

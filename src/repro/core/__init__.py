@@ -8,6 +8,10 @@ Public surface:
 * :mod:`repro.core.candidates` — temporal sender/receiver candidates;
 * :mod:`repro.core.matching` — the matching function ``M``;
 * :mod:`repro.core.exact` / :mod:`repro.core.heuristic` — the two learners;
+* :mod:`repro.core.interning` — the pair-index bitmask kernel the learners
+  run on (``TaskTable`` / ``PairSet`` / ``WeightKernel``);
+* :mod:`repro.core.reference` — the string-frozenset reference kernel kept
+  for differential tests and benchmarks;
 * :mod:`repro.core.learner` — the :func:`learn_dependencies` facade.
 """
 
@@ -20,6 +24,7 @@ from repro.core.exact import ExactLearner, learn_exact
 from repro.core.heuristic import BoundedLearner, learn_bounded
 from repro.core.hypothesis import Hypothesis
 from repro.core.instrumentation import HotLoopCounters
+from repro.core.interning import PairSet, TaskTable, WeightKernel, task_table
 from repro.core.lattice import DepValue
 from repro.core.learner import learn_dependencies, make_learner
 from repro.core.matching import matches_period, matches_trace
@@ -47,6 +52,10 @@ __all__ = [
     "DependencyFunction",
     "lub_many",
     "Hypothesis",
+    "TaskTable",
+    "task_table",
+    "PairSet",
+    "WeightKernel",
     "CoExecutionStats",
     "matches_period",
     "matches_trace",

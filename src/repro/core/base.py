@@ -34,7 +34,9 @@ from __future__ import annotations
 import time
 from typing import Iterable, Sequence
 
+from repro.core.hypothesis import Hypothesis
 from repro.core.instrumentation import HotLoopCounters
+from repro.core.interning import TaskTable
 from repro.core.result import LearningResult
 from repro.core.stats import CoExecutionStats
 from repro.trace.period import Period
@@ -126,3 +128,55 @@ class IncrementalLearner:
     def result(self) -> LearningResult:
         """The current hypothesis set as a result object."""
         raise NotImplementedError
+
+
+class MaskedLearner(IncrementalLearner):
+    """Incremental learner whose working pool is pair-index bitmasks.
+
+    The production learners keep their hypothesis pool as raw ``int``
+    bitmasks over the pair indices of one shared
+    :class:`~repro.core.interning.TaskTable` (``self.table``) — that is
+    the whole point of the kernel rewrite: the hot loops never touch a
+    frozenset. Everything outside the hot loops (checkpoints, sharding,
+    ``result()``, tests poking at internals) still wants
+    :class:`~repro.core.hypothesis.Hypothesis` objects, so this base
+    exposes the pool through a ``_hypotheses`` property that decodes the
+    masks lazily and caches the decoding until the pool changes:
+
+    * reading ``_hypotheses`` decodes ``self._masks`` through
+      :meth:`TaskTable.pairs_of` (subclasses may hook
+      :meth:`_prime_decoded` to seed weight memos);
+    * assigning ``_hypotheses`` — the checkpoint-restore path — encodes
+      the given hypotheses' pair sets back into masks.
+
+    Subclasses must set ``self._decoded = None`` whenever they replace
+    ``self._masks`` so the cached decoding cannot go stale.
+    """
+
+    def __init__(self, tasks: Iterable[str], tolerance: float = 0.0):
+        super().__init__(tasks, tolerance)
+        self.table = TaskTable(self.stats.tasks)
+        self._masks: list[int] = [0]
+        self._decoded: list[Hypothesis] | None = None
+
+    @property
+    def _hypotheses(self) -> list[Hypothesis]:
+        if self._decoded is None:
+            pairs_of = self.table.pairs_of
+            decoded = [Hypothesis(pairs_of(mask)) for mask in self._masks]
+            self._prime_decoded(decoded)
+            self._decoded = decoded
+        return self._decoded
+
+    @_hypotheses.setter
+    def _hypotheses(self, hypotheses: list[Hypothesis]) -> None:
+        mask_of = self.table.mask_of
+        self._masks = [mask_of(h.pairs) for h in hypotheses]
+        self._decoded = list(hypotheses)
+
+    def _prime_decoded(self, decoded: list[Hypothesis]) -> None:
+        """Hook: seed freshly decoded hypotheses (weight memos, ...)."""
+
+    @property
+    def hypothesis_count(self) -> int:
+        return len(self._masks)

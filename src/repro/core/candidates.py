@@ -19,10 +19,76 @@ in period 1 of Figure 2, ``A_m1 = {(t1, t2), (t1, t4)}`` and
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Sequence
 
 from repro.trace.events import MessageOccurrence, TaskExecution
 from repro.trace.period import Period
+
+
+class CandidateCache:
+    """Memo of ``candidate_pairs`` keyed by ``(period, message, tolerance)``.
+
+    ``A_m`` is a pure function of the period's executions, the message
+    occurrence and the tolerance — but it used to be recomputed on every
+    consultation: once per message per learner feed, and once per message
+    *per hypothesis per period* by the matcher (``matches_trace`` runs the
+    full explanation search for every hypothesis of a result). The cache
+    keys on the period's identity (periods are identity-hashed slot
+    objects) plus the message occurrence by value; the period object is
+    pinned by a strong reference while its entries live, so a recycled
+    ``id()`` can never alias a dead period's entries. Bounded LRU: at most
+    *capacity* message entries are retained.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[
+            tuple[int, MessageOccurrence, float],
+            tuple[Period, tuple[tuple[str, str], ...]],
+        ] = OrderedDict()
+
+    def get(
+        self,
+        period: Period,
+        message: MessageOccurrence,
+        tolerance: float,
+    ) -> tuple[tuple[str, str], ...]:
+        key = (id(period), message, tolerance)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is period:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self.misses += 1
+        pairs = _compute_candidate_pairs(period, message, tolerance)
+        self._entries[key] = (period, pairs)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return pairs
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
+#: Process-wide memo shared by the learners and the matcher.
+_CACHE = CandidateCache()
 
 
 def candidate_pairs(
@@ -34,8 +100,28 @@ def candidate_pairs(
 
     *tolerance* loosens the timing comparisons by a small epsilon, useful
     when timestamps were quantized by the logging device. Pairs are
-    returned in deterministic (sender, receiver) name order.
+    returned in deterministic (sender, receiver) name order. Results are
+    memoized per ``(period, message, tolerance)`` in a bounded LRU (see
+    :class:`CandidateCache`).
     """
+    return _CACHE.get(period, message, tolerance)
+
+
+def candidate_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the shared candidate memo."""
+    return _CACHE.cache_info()
+
+
+def clear_candidate_cache() -> None:
+    """Drop the shared candidate memo (tests, long-lived processes)."""
+    _CACHE.clear()
+
+
+def _compute_candidate_pairs(
+    period: Period,
+    message: MessageOccurrence,
+    tolerance: float = 0.0,
+) -> tuple[tuple[str, str], ...]:
     senders = possible_senders(period.executions, message, tolerance)
     receivers = possible_receivers(period.executions, message, tolerance)
     pairs = [

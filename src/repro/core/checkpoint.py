@@ -25,7 +25,6 @@ from typing import Any
 
 from repro.core.exact import ExactLearner
 from repro.core.heuristic import BoundedLearner
-from repro.core.hypothesis import Hypothesis
 from repro.core.stats import CoExecutionStats
 from repro.errors import LearningError
 
@@ -85,6 +84,11 @@ def checkpoint_to_dict(
         extra = {"max_hypotheses": learner.max_hypotheses}
     else:
         raise LearningError(f"cannot checkpoint {type(learner).__name__}")
+    # The learners keep their pool as pair-index bitmasks; the public
+    # checkpoint format stays string pairs. Decoding via sorted_pairs_of
+    # yields index order == lexicographic order, so the JSON is identical
+    # to what the pre-kernel format produced.
+    table = learner.table
     return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -92,8 +96,8 @@ def checkpoint_to_dict(
         "tolerance": learner.tolerance,
         "stats": _stats_to_dict(learner.stats),
         "hypotheses": [
-            sorted(list(pair) for pair in h.pairs)
-            for h in learner._hypotheses
+            [list(pair) for pair in table.sorted_pairs_of(mask)]
+            for mask in learner._masks
         ],
         "periods": learner._periods,
         "messages": learner._messages,
@@ -132,10 +136,16 @@ def checkpoint_from_dict(
     else:
         raise LearningError(f"unknown learner kind: {kind!r}")
     learner.stats = stats
-    learner._hypotheses = [
-        Hypothesis(frozenset(tuple(pair) for pair in pairs))
+    # Translate the public string pairs back into the learner's interned
+    # masks. The kernel's weight table is rebuilt lazily on the next feed
+    # (the learner detects the statistics drift), and carried weights are
+    # absent on purpose: the first refresh recomputes them from scratch.
+    mask_of = learner.table.mask_of
+    learner._masks = [
+        mask_of(tuple(pair) for pair in pairs)
         for pairs in data["hypotheses"]
     ]
+    learner._decoded = None
     learner._periods = int(data["periods"])
     learner._messages = int(data["messages"])
     learner._peak = int(data["peak"])

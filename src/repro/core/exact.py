@@ -12,39 +12,47 @@ generalizations of another survivor are deleted.
 The hypothesis set grows exponentially in the number of messages in the
 worst case; Theorem 1 shows the underlying problem is NP-hard, so this is
 unavoidable for an exact most-specific-set algorithm.
+
+The working set lives on the interned bitmask kernel
+(:mod:`repro.core.interning`): a hypothesis in flight is a ``(mask,
+period_mask)`` int pair, extension is a bitwise OR, dedup keys are the int
+pairs themselves, and the paper's redundancy elimination is a mask subset
+test — which matters doubly here because the exponential set makes every
+per-hypothesis constant factor hurt.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable
+from typing import Iterable, Sequence
 
-from repro.core.base import IncrementalLearner
+from repro.core.base import MaskedLearner
 from repro.core.candidates import candidate_pairs
-from repro.core.hypothesis import Hypothesis, Pair
 from repro.core.result import LearningResult
 from repro.errors import EmptyHypothesisSpaceError, LearningError
 from repro.trace.period import Period
 from repro.trace.trace import Trace
 
 
-def _remove_redundant(pair_sets: Iterable[frozenset[Pair]]) -> list[frozenset[Pair]]:
-    """Keep only minimal pair sets under inclusion.
+def _remove_redundant_masks(masks: Iterable[int]) -> list[int]:
+    """Keep only minimal pair masks under inclusion.
 
     With shared statistics, pair-set inclusion coincides with the pointwise
     dependency-function order, so deleting strict supersets is exactly the
-    paper's redundancy elimination.
+    paper's redundancy elimination. On masks, ``kept ⊂ candidate`` is the
+    subset test ``kept & candidate == kept`` (strictness is free: the
+    inputs are deduplicated first).
     """
-    unique = set(pair_sets)
-    by_size = sorted(unique, key=len)
-    minimal: list[frozenset[Pair]] = []
+    unique = set(masks)
+    by_size = sorted(unique, key=lambda mask: mask.bit_count())
+    minimal: list[int] = []
     for candidate in by_size:
-        if not any(kept < candidate for kept in minimal):
+        if not any(kept & candidate == kept for kept in minimal):
             minimal.append(candidate)
     return minimal
 
 
-class ExactLearner(IncrementalLearner):
+class ExactLearner(MaskedLearner):
     """Incremental exact learner over a fixed task universe.
 
     Feed periods one at a time with :meth:`feed` (all-or-nothing, see
@@ -71,7 +79,6 @@ class ExactLearner(IncrementalLearner):
     ):
         super().__init__(tasks, tolerance)
         self.max_hypotheses = max_hypotheses
-        self._hypotheses: list[Hypothesis] = [Hypothesis.most_specific()]
 
     # ------------------------------------------------------------------
     # Learning (the base class owns the all-or-nothing envelope)
@@ -85,19 +92,20 @@ class ExactLearner(IncrementalLearner):
 
     def _absorb(
         self, period: Period, dirty: frozenset, mark: float
-    ) -> list[Hypothesis]:
+    ) -> Sequence[tuple[int, int]]:
         counters = self._counters
-        current = self._hypotheses
+        table = self.table
+        current: Sequence[tuple[int, int]] = [(mask, 0) for mask in self._masks]
         for message in period.messages:
             pairs = candidate_pairs(period, message, self.tolerance)
             counters.observe_candidates(len(pairs))
-            next_generation: dict[tuple[frozenset, frozenset], Hypothesis] = {}
-            for hypothesis in current:
-                for pair in pairs:
-                    if not hypothesis.can_extend(pair):
+            bits = table.bits_of(pairs)
+            next_generation: dict[tuple[int, int], None] = {}
+            for mask, period_mask in current:
+                for bit in bits:
+                    if period_mask & bit:
                         continue
-                    extended = hypothesis.extend(pair)
-                    next_generation[extended.pairs, extended.period_pairs] = extended
+                    next_generation[mask | bit, period_mask | bit] = None
             if not next_generation:
                 raise EmptyHypothesisSpaceError(self._periods, len(pairs))
             if len(next_generation) > self.max_hypotheses:
@@ -105,16 +113,18 @@ class ExactLearner(IncrementalLearner):
                     f"exact learner exceeded {self.max_hypotheses} hypotheses "
                     f"in period {self._periods}; use the bounded heuristic"
                 )
-            current = list(next_generation.values())
+            current = list(next_generation)
             self._messages += 1
             self._peak = max(self._peak, len(current))
         counters.process_seconds += time.perf_counter() - mark
         return current
 
-    def _finish_period(self, pending: list[Hypothesis], dirty: frozenset) -> None:
+    def _finish_period(
+        self, pending: Sequence[tuple[int, int]], dirty: frozenset
+    ) -> None:
         # Drop assumptions, unify, remove redundant.
-        minimal = _remove_redundant(h.pairs for h in pending)
-        self._hypotheses = [Hypothesis(pairs) for pairs in minimal]
+        self._masks = _remove_redundant_masks(mask for mask, _pmask in pending)
+        self._decoded = None
 
     # ------------------------------------------------------------------
     # Results

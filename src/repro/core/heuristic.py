@@ -1,4 +1,4 @@
-"""The bounded heuristic learner (paper Section 3.2).
+"""The bounded heuristic learner (paper Section 3.2) on the mask kernel.
 
 The exact algorithm's hypothesis set grows exponentially; the heuristic
 replaces the unordered set with a weight-ordered working list of at most
@@ -15,8 +15,19 @@ LUB of its output equals the bound-1 output, and Theorem 4 that on
 convergence it coincides with the exact result; both are checked
 empirically by ``repro.theory.theorems`` and experiment E4.
 
-Two implementation notes:
+Three implementation notes:
 
+* The hot loop runs entirely on the interned representation of
+  :mod:`repro.core.interning`: a hypothesis in flight is a ``(mask,
+  period_mask, weight)`` triple of two ints and a number. Extension is
+  ``mask | bit``, the LUB merge is ``|``, pool dedup keys are ``(mask,
+  period_mask)`` int tuples, and every Definition 8 delta is a couple of
+  list lookups in the :class:`~repro.core.interning.WeightKernel` term
+  table. Because the table assigns pair indices in lexicographic order,
+  iterating candidate bits ascending, sorting, dict insertion and heap
+  tie-breaking all reproduce the string-kernel reference
+  (:mod:`repro.core.reference`) bit for bit — asserted by the property
+  tests.
 * Weights are maintained incrementally, both *within* and *across*
   periods. Within a period, extending a hypothesis by one pair changes at
   most two dependency-function entries (the pair and its mirror), so the
@@ -27,10 +38,12 @@ Two implementation notes:
   exactly the flipped (*dirty*) ordered pairs — so the per-period refresh
   applies one O(1) delta per dirty pair intersecting the hypothesis's
   touched set instead of re-evaluating Definition 8 over all ``t^2``
-  entries. This is what makes the paper's ``O(m b^2 + m b t^2)`` bound
-  reachable in Python; the :class:`~repro.core.instrumentation.HotLoopCounters`
-  carried on the result attest it (zero from-scratch refreshes on periods
-  with no dirty pairs).
+  entries. The same dirty indices refresh the kernel's term table (and
+  un-refresh it when a failed period rolls back). This is what makes the
+  paper's ``O(m b^2 + m b t^2)`` bound reachable in Python; the
+  :class:`~repro.core.instrumentation.HotLoopCounters` carried on the
+  result attest it (zero from-scratch refreshes on periods with no dirty
+  pairs).
 * Merging must preserve a *valid per-period assignment*. A merged
   hypothesis inherits the first parent's per-period assumptions: they are
   a legal distinct assignment of the period's messages so far, and remain
@@ -50,118 +63,31 @@ import time
 from typing import Iterable, Sequence
 
 from repro.core import lattice
-from repro.core.base import IncrementalLearner
+from repro.core.base import MaskedLearner
 from repro.core.candidates import candidate_pairs
-from repro.core.hypothesis import Hypothesis, Pair
+from repro.core.hypothesis import Hypothesis
+from repro.core.interning import WeightKernel
+from repro.core.reference import (  # noqa: F401  (re-exported reference helpers)
+    extension_delta as _extension_delta,
+    flip_delta as _flip_delta,
+    pair_value as _pair_value,
+    set_weight as _set_weight,
+    union_weight as _union_weight,
+)
 from repro.core.result import LearningResult
-from repro.core.stats import CoExecutionStats
 from repro.core.weights import DistanceFunction, square_distance
 from repro.errors import EmptyHypothesisSpaceError
 from repro.trace.period import Period
 from repro.trace.trace import Trace
 
-_PoolKey = tuple[frozenset, frozenset]
+#: Pool identity of an in-flight hypothesis: ``(pair mask, period mask)``.
+_PoolKey = tuple[int, int]
+
+#: One in-flight hypothesis: ``(pair mask, period mask, weight)``.
+_Entry = tuple[int, int, int]
 
 
-def _pair_value(
-    pairs: frozenset[Pair], a: str, b: str, stats: CoExecutionStats
-) -> lattice.DepValue:
-    """Dependency value of ``(a, b)`` for a raw pair set (O(1))."""
-    forward = (a, b) in pairs
-    backward = (b, a) in pairs
-    if not forward and not backward:
-        return lattice.PARALLEL
-    certain = stats.always_implies(a, b)
-    value = lattice.PARALLEL
-    if forward:
-        value = lattice.DETERMINES if certain else lattice.MAY_DETERMINE
-    if backward:
-        back = lattice.DEPENDS if certain else lattice.MAY_DEPEND
-        value = lattice.lub(value, back)
-    return value
-
-
-def _extension_delta(
-    pairs: frozenset[Pair],
-    pair: Pair,
-    stats: CoExecutionStats,
-    distance: DistanceFunction = lattice.distance,
-) -> int:
-    """Weight change from adding *pair* to *pairs*."""
-    if pair in pairs:
-        return 0
-    s, r = pair
-    extended = pairs | {pair}
-    return (
-        distance(_pair_value(extended, s, r, stats))
-        - distance(_pair_value(pairs, s, r, stats))
-        + distance(_pair_value(extended, r, s, stats))
-        - distance(_pair_value(pairs, r, s, stats))
-    )
-
-
-def _union_weight(
-    base_pairs: frozenset[Pair],
-    base_weight: int,
-    other_pairs: frozenset[Pair],
-    stats: CoExecutionStats,
-    distance: DistanceFunction = lattice.distance,
-) -> int:
-    """Weight of ``base ∪ other`` given the weight of ``base``."""
-    new_pairs = other_pairs - base_pairs
-    if not new_pairs:
-        return base_weight
-    union = base_pairs | new_pairs
-    touched: set[Pair] = set()
-    for a, b in new_pairs:
-        touched.add((a, b))
-        touched.add((b, a))
-    weight = base_weight
-    for a, b in touched:
-        weight += distance(_pair_value(union, a, b, stats))
-        weight -= distance(_pair_value(base_pairs, a, b, stats))
-    return weight
-
-
-def _set_weight(
-    pairs: frozenset[Pair],
-    stats: CoExecutionStats,
-    distance: DistanceFunction = lattice.distance,
-) -> int:
-    """Weight of a pair set from scratch (the incremental paths' fallback)."""
-    touched: set[Pair] = set()
-    for a, b in pairs:
-        touched.add((a, b))
-        touched.add((b, a))
-    return sum(distance(_pair_value(pairs, a, b, stats)) for a, b in touched)
-
-
-def _flip_delta(
-    pairs: frozenset[Pair],
-    s: str,
-    r: str,
-    distance: DistanceFunction = lattice.distance,
-) -> int:
-    """Weight change when ``always_implies(s, r)`` flips certain → uncertain.
-
-    Only the weight term of the ordered pair ``(s, r)`` is affected, and
-    only if the pair set touches it. The flipped term's old and new values
-    follow directly from which memberships contribute to it — the
-    statistics need not be consulted at all (that is the point: by the
-    time the delta is applied the old verdict is gone from the stats).
-    """
-    forward = (s, r) in pairs
-    backward = (r, s) in pairs
-    if forward and backward:
-        return distance(lattice.MAY_MUTUAL) - distance(lattice.MUTUAL)
-    if forward:
-        return distance(lattice.MAY_DETERMINE) - distance(lattice.DETERMINES)
-    if backward:
-        return distance(lattice.MAY_DEPEND) - distance(lattice.DEPENDS)
-    return 0
-
-
-class BoundedLearner(IncrementalLearner):
+class BoundedLearner(MaskedLearner):
     """Incremental heuristic learner with a hypothesis bound.
 
     Parameters
@@ -203,12 +129,15 @@ class BoundedLearner(IncrementalLearner):
         self._prime_memo = incremental_weights and (
             distance is lattice.distance or distance is square_distance
         )
-        self._hypotheses: list[Hypothesis] = [Hypothesis.most_specific()]
-        #: Carried Definition 8 weight per surviving pair set. The empty
+        #: Carried Definition 8 weight per surviving pair mask. The empty
         #: hypothesis weighs 0 under any statistics and distance.
-        self._weights: dict[frozenset, int] = {frozenset(): 0}
+        self._weights: dict[int, int] = {0: 0}
         self._merges = 0
         self._sequence = itertools.count()
+        #: Term table of the current statistics; (re)built lazily on the
+        #: first absorb and maintained by dirty-index flips afterwards.
+        self._kernel: WeightKernel | None = None
+        self._kernel_version = -1
 
     # ------------------------------------------------------------------
     # Learning (the base class owns the all-or-nothing envelope)
@@ -219,31 +148,52 @@ class BoundedLearner(IncrementalLearner):
 
     def _restore_run_state(self, state: object) -> None:
         self._messages, self._peak, self._merges = state
+        # The rolled-back period's flips were undone in _absorb, so the
+        # kernel again matches the statistics content — resync the version
+        # marker (remove_period bumped it) so the next feed keeps the
+        # incremental flip path instead of rebuilding the table.
+        self._kernel_version = self.stats.version
 
     def _absorb(
         self, period: Period, dirty: frozenset, mark: float
-    ) -> list[tuple[Hypothesis, int]]:
+    ) -> list[_Entry]:
         counters = self._counters
-        entries = self._refresh_weights(dirty)
-        now = time.perf_counter()
-        counters.refresh_seconds += now - mark
-        mark = now
-        history: list[Sequence[Pair]] = []
-        for message in period.messages:
-            pairs = candidate_pairs(period, message, self.tolerance)
-            if not pairs:
-                raise EmptyHypothesisSpaceError(self._periods)
-            counters.observe_candidates(len(pairs))
-            history.append(pairs)
-            entries = self._process_message(entries, pairs, history)
-            self._messages += 1
-            self._peak = max(self._peak, len(entries))
-        counters.process_seconds += time.perf_counter() - mark
-        return entries
+        table = self.table
+        dirty_indices = table.indices_of(dirty)
+        version = self.stats.version
+        if self._kernel is None or self._kernel_version != version - 1:
+            # Fresh or drifted statistics (construction, checkpoint
+            # restore, shard merge): rebuild the term table outright. The
+            # post-add statistics already carry this period's flips.
+            self._kernel = WeightKernel(table, self.stats, self.distance)
+        elif dirty_indices:
+            self._kernel.flip(dirty_indices)
+        self._kernel_version = version
+        try:
+            entries = self._refresh_weights(dirty_indices)
+            now = time.perf_counter()
+            counters.refresh_seconds += now - mark
+            mark = now
+            history: list[tuple[int, ...]] = []
+            for message in period.messages:
+                pairs = candidate_pairs(period, message, self.tolerance)
+                if not pairs:
+                    raise EmptyHypothesisSpaceError(self._periods)
+                counters.observe_candidates(len(pairs))
+                bits = table.bits_of(pairs)
+                history.append(bits)
+                entries = self._process_message(entries, bits, history)
+                self._messages += 1
+                self._peak = max(self._peak, len(entries))
+            counters.process_seconds += time.perf_counter() - mark
+            return entries
+        except Exception:
+            # Keep the term table consistent with the statistics rollback
+            # the feed envelope is about to perform.
+            self._kernel.unflip(dirty_indices)
+            raise
 
-    def _finish_period(
-        self, pending: list[tuple[Hypothesis, int]], dirty: frozenset
-    ) -> None:
+    def _finish_period(self, pending: list[_Entry], dirty: frozenset) -> None:
         # Drop assumptions and unify equal pair sets. Unlike the exact
         # algorithm, the heuristic keeps dominated hypotheses: deleting a
         # strict generalization can remove pairs from the working list's
@@ -251,168 +201,178 @@ class BoundedLearner(IncrementalLearner):
         # paper's Lemma (⊔D*(b) = d*(1)). The union of kept pair sets is
         # invariant under extension, merging and equality-unification —
         # redundancy deletion is the only operation that could break it.
-        by_pairs: dict[frozenset, Hypothesis] = {}
-        weights: dict[frozenset, int] = {}
-        for hypothesis, weight in pending:
-            by_pairs[hypothesis.pairs] = hypothesis.end_period()
-            weights[hypothesis.pairs] = weight
-        self._hypotheses = list(by_pairs.values())
+        by_mask: dict[int, int] = {}
+        for mask, _period_mask, weight in pending:
+            by_mask[mask] = weight
+        self._masks = list(by_mask)
+        self._decoded = None
         if self._incremental:
-            self._weights = weights
-        if self._prime_memo:
-            version = self.stats.version
-            for hypothesis in self._hypotheses:
-                hypothesis.prime_weight(version, weights[hypothesis.pairs])
+            self._weights = by_mask
 
-    def _refresh_weights(self, dirty: frozenset[Pair]) -> list[tuple[Hypothesis, int]]:
+    def _prime_decoded(self, decoded: list[Hypothesis]) -> None:
+        # Decoding happens at the boundary (result(), checkpoints,
+        # sharding); seed the Hypothesis.weight memo with the carried
+        # Definition 8 weights so the result sort never recomputes them.
+        if not self._prime_memo:
+            return
+        version = self.stats.version
+        weights = self._weights
+        for hypothesis, mask in zip(decoded, self._masks):
+            weight = weights.get(mask)
+            if weight is not None:
+                hypothesis.prime_weight(version, weight)
+
+    def _refresh_weights(self, dirty_indices: Sequence[int]) -> list[_Entry]:
         """Bring carried hypothesis weights up to date with the new period.
 
-        A carried weight is stale only in the terms of dirty ordered pairs
-        the pair set touches, each a constant-time delta. From-scratch
-        evaluation remains as the fallback for hypotheses without a
-        carried weight (after a checkpoint resume) and as the whole
-        refresh when incremental maintenance is disabled.
+        A carried weight is stale only in the terms of dirty indices the
+        mask touches, each a constant-time delta. From-scratch evaluation
+        remains as the fallback for masks without a carried weight (after
+        a checkpoint resume) and as the whole refresh when incremental
+        maintenance is disabled.
         """
         counters = self._counters
-        entries: list[tuple[Hypothesis, int]] = []
-        for hypothesis in self._hypotheses:
-            carried = (
-                self._weights.get(hypothesis.pairs)
-                if self._incremental
-                else None
-            )
+        kernel = self._kernel
+        assert kernel is not None
+        flip_delta = kernel.flip_delta
+        weights = self._weights if self._incremental else None
+        entries: list[_Entry] = []
+        for mask in self._masks:
+            carried = weights.get(mask) if weights is not None else None
             if carried is None:
-                weight = _set_weight(hypothesis.pairs, self.stats, self.distance)
+                weight = kernel.set_weight(mask)
                 counters.weight_refresh_scratch += 1
                 counters.weight_scratch_calls += 1
             else:
                 weight = carried
-                if dirty:
-                    pairs = hypothesis.pairs
-                    for s, r in dirty:
-                        weight += _flip_delta(pairs, s, r, self.distance)
+                for index in dirty_indices:
+                    weight += flip_delta(mask, index)
                 counters.weight_refresh_incremental += 1
-            entries.append((hypothesis, weight))
+            entries.append((mask, 0, weight))
         return entries
 
     def _process_message(
         self,
-        entries: list[tuple[Hypothesis, int]],
-        pairs: Sequence[Pair],
-        history: Sequence[Sequence[Pair]],
-    ) -> list[tuple[Hypothesis, int]]:
+        entries: list[_Entry],
+        bits: Sequence[int],
+        history: Sequence[Sequence[int]],
+    ) -> list[_Entry]:
         """One generalization step: extend every hypothesis, keep <= bound."""
-        pool: dict[_PoolKey, tuple[Hypothesis, int]] = {}
+        kernel = self._kernel
+        assert kernel is not None
+        extension_delta = kernel.extension_delta
+        union_delta = kernel.union_delta
+        bound = self.bound
+        sequence = self._sequence
+        pool: dict[_PoolKey, int] = {}
         heap: list[tuple[int, int, _PoolKey]] = []
+        pop_lightest = self._pop_lightest
 
-        def insert(hypothesis: Hypothesis, weight: int) -> None:
-            key = (hypothesis.pairs, hypothesis.period_pairs)
+        def insert(mask: int, period_mask: int, weight: int) -> None:
+            key = (mask, period_mask)
             if key in pool:
                 return
-            pool[key] = (hypothesis, weight)
-            heapq.heappush(heap, (weight, next(self._sequence), key))
-            while len(pool) > self.bound:
-                first = self._pop_lightest(pool, heap)
-                second = self._pop_lightest(pool, heap)
-                merged = first[0].merge(second[0])
-                merged_weight = _union_weight(
-                    first[0].pairs,
-                    first[1],
-                    second[0].pairs,
-                    self.stats,
-                    self.distance,
-                )
+            pool[key] = weight
+            heapq.heappush(heap, (weight, next(sequence), key))
+            while len(pool) > bound:
+                (mask1, pmask1), weight1 = pop_lightest(pool, heap)
+                (mask2, pmask2), _weight2 = pop_lightest(pool, heap)
+                merged_key = (mask1 | mask2, pmask1 | pmask2)
+                merged_weight = weight1 + union_delta(mask1, mask2)
                 self._merges += 1
-                merged_key = (merged.pairs, merged.period_pairs)
                 if merged_key not in pool:
-                    pool[merged_key] = (merged, merged_weight)
+                    pool[merged_key] = merged_weight
                     heapq.heappush(
-                        heap, (merged_weight, next(self._sequence), merged_key)
+                        heap, (merged_weight, next(sequence), merged_key)
                     )
 
-        for hypothesis, weight in entries:
-            feasible = [p for p in pairs if hypothesis.can_extend(p)]
+        for mask, period_mask, weight in entries:
+            feasible = [bit for bit in bits if not period_mask & bit]
             if feasible:
-                for pair in feasible:
-                    child = hypothesis.extend(pair)
-                    child_weight = weight + _extension_delta(
-                        hypothesis.pairs, pair, self.stats, self.distance
+                for bit in feasible:
+                    insert(
+                        mask | bit,
+                        period_mask | bit,
+                        weight + extension_delta(mask, bit),
                     )
-                    insert(child, child_weight)
             else:
                 # Merged-lineage corner case: the inherited assignment
                 # claims every candidate of this message. Recompute a
                 # legal assignment for the whole period so far.
-                repaired = self._reassign_period(hypothesis, history)
+                repaired = self._reassign_period(mask, history)
                 self._counters.reassignments += 1
                 if repaired is not None:
+                    repaired_mask, repaired_period = repaired
                     self._counters.weight_scratch_calls += 1
                     insert(
-                        repaired,
-                        _set_weight(repaired.pairs, self.stats, self.distance),
+                        repaired_mask,
+                        repaired_period,
+                        kernel.set_weight(repaired_mask),
                     )
         if not pool:
             raise EmptyHypothesisSpaceError(self._periods)
-        return list(pool.values())
+        return [(mask, pmask, weight) for (mask, pmask), weight in pool.items()]
 
     @staticmethod
     def _reassign_period(
-        hypothesis: Hypothesis, history: Sequence[Sequence[Pair]]
-    ) -> Hypothesis | None:
+        mask: int, history: Sequence[Sequence[int]]
+    ) -> tuple[int, int] | None:
         """Find a fresh distinct assignment of the period's messages.
 
-        Candidates already assumed by the hypothesis are preferred so the
-        repair generalizes as little as possible. Returns None when no
-        assignment exists (the pool's other lineages may still survive).
+        Candidate bits already assumed by the hypothesis are preferred so
+        the repair generalizes as little as possible. Returns the repaired
+        ``(mask, period_mask)`` or None when no assignment exists (the
+        pool's other lineages may still survive). Bit order is index
+        order is lexicographic pair order, so the backtracking explores
+        assignments exactly as the string reference does.
         """
         options = sorted(
             (
-                sorted(candidates, key=lambda p: p not in hypothesis.pairs),
+                sorted(bits, key=lambda bit: not mask & bit),
                 index,
             )
-            for index, candidates in enumerate(history)
+            for index, bits in enumerate(history)
         )
         # Most-constrained message first.
         options.sort(key=lambda item: len(item[0]))
-        assignment: list[Pair] = []
-        used: set[Pair] = set()
+        used = 0
 
         def backtrack(position: int) -> bool:
+            nonlocal used
             if position == len(options):
                 return True
-            for pair in options[position][0]:
-                if pair in used:
+            for bit in options[position][0]:
+                if used & bit:
                     continue
-                used.add(pair)
-                assignment.append(pair)
+                used |= bit
                 if backtrack(position + 1):
                     return True
-                used.discard(pair)
-                assignment.pop()
+                used &= ~bit
             return False
 
         if not backtrack(0):
             return None
-        chosen = frozenset(assignment)
         # Also generalize by the current message's full candidate set (the
         # last history entry): an unbounded run would have spawned one
         # extension per candidate, and their LUB contributes all of them.
         # Keeping that contribution preserves the paper's Lemma — the LUB
         # of the bounded output stays equal to the bound-1 hypothesis.
-        current = frozenset(history[-1])
-        return Hypothesis(hypothesis.pairs | chosen | current, chosen)
+        current = 0
+        for bit in history[-1]:
+            current |= bit
+        return mask | used | current, used
 
     @staticmethod
     def _pop_lightest(
-        pool: dict[_PoolKey, tuple[Hypothesis, int]],
+        pool: dict[_PoolKey, int],
         heap: list[tuple[int, int, _PoolKey]],
-    ) -> tuple[Hypothesis, int]:
+    ) -> tuple[_PoolKey, int]:
         """Pop the least-weight live entry (heap entries are lazily stale)."""
         while True:
             _weight, _seq, key = heapq.heappop(heap)
-            entry = pool.pop(key, None)
-            if entry is not None:
-                return entry
+            weight = pool.pop(key, None)
+            if weight is not None:
+                return key, weight
 
     # ------------------------------------------------------------------
     # Results

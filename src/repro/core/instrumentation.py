@@ -104,6 +104,18 @@ class HotLoopCounters:
             return 0.0
         return self.candidates_total / self.messages
 
+    def as_dict(self) -> dict[str, object]:
+        """Field name → value, plus the derived mean candidate size.
+
+        The machine-readable twin of :meth:`as_rows`; this is what the
+        pipeline's ``--profile-json`` output embeds.
+        """
+        data: dict[str, object] = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+        data["mean_candidates"] = self.mean_candidates
+        return data
+
     def as_rows(self) -> list[tuple[str, object]]:
         """``(name, value)`` rows for table rendering."""
         return [

@@ -22,6 +22,7 @@ from typing import Iterable, Optional, Sequence
 from repro.core.candidates import candidate_pairs
 from repro.core.depfunc import DependencyFunction
 from repro.core.hypothesis import Pair
+from repro.core.interning import task_table
 from repro.trace.period import Period
 from repro.trace.trace import Trace
 
@@ -59,32 +60,37 @@ def find_explanation(
     pair if the period's messages can all be explained under *function*;
     otherwise ``None``.
     """
+    # Distinctness bookkeeping runs on interned pair bits (one shared
+    # table per task universe): membership and claim/release are single
+    # mask operations instead of set-of-tuple mutations.
+    table = task_table(function.tasks)
     messages = period.messages
-    options: list[tuple[str, tuple[Pair, ...]]] = []
+    options: list[tuple[str, tuple[Pair, ...], tuple[int, ...]]] = []
     for message in messages:
         permitted = allowed_pairs(
             function, candidate_pairs(period, message, tolerance)
         )
         if not permitted:
             return None
-        options.append((message.label, permitted))
+        options.append((message.label, permitted, table.bits_of(permitted)))
     # Most-constrained first keeps the backtracking shallow.
     options.sort(key=lambda item: len(item[1]))
     assignment: dict[str, Pair] = {}
-    used: set[Pair] = set()
+    used = 0
 
     def backtrack(position: int) -> bool:
+        nonlocal used
         if position == len(options):
             return True
-        label, permitted = options[position]
-        for pair in permitted:
-            if pair in used:
+        label, permitted, bits = options[position]
+        for pair, bit in zip(permitted, bits):
+            if used & bit:
                 continue
-            used.add(pair)
+            used |= bit
             assignment[label] = pair
             if backtrack(position + 1):
                 return True
-            used.discard(pair)
+            used &= ~bit
             del assignment[label]
         return False
 

@@ -44,8 +44,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.heuristic import BoundedLearner
-from repro.core.hypothesis import Hypothesis, Pair
+from repro.core.hypothesis import Hypothesis
 from repro.core.instrumentation import HotLoopCounters
+from repro.core.interning import TaskTable
 from repro.core.result import LearningResult
 from repro.core.stats import CoExecutionStats
 from repro.errors import LearningError
@@ -62,9 +63,15 @@ class ShardOutcome:
     form), the shard statistics, and the run counters — not the shard's
     materialized functions, which would be judged against shard-local
     certainty and thrown away anyway.
+
+    The pair set crosses the process boundary as a single interned
+    bitmask (``pairs_mask``), not a string set: the
+    :class:`~repro.core.interning.TaskTable` is a pure function of the
+    task universe, so every worker and the coordinator agree on pair
+    indices without shipping the table itself.
     """
 
-    pairs: frozenset[Pair]
+    pairs_mask: int
     stats: CoExecutionStats
     periods: int
     messages: int
@@ -105,11 +112,11 @@ def learn_shard(
     """Run one shard's bounded learner (executed in a worker process)."""
     learner = BoundedLearner(tasks, bound, tolerance)
     learner.feed_trace(periods)
-    union: frozenset[Pair] = frozenset().union(
-        *(h.pairs for h in learner._hypotheses)
-    )
+    union = 0
+    for mask in learner._masks:
+        union |= mask
     return ShardOutcome(
-        pairs=union,
+        pairs_mask=union,
         stats=learner.stats,
         periods=learner._periods,
         messages=learner._messages,
@@ -142,12 +149,14 @@ def merge_outcomes(
         return result
     stats = CoExecutionStats(tasks)
     counters = HotLoopCounters()
-    pairs: frozenset[Pair] = frozenset()
+    pairs_mask = 0
     for outcome in outcomes:
         stats.merge(outcome.stats)
         counters.merge(outcome.hot_loop)
-        pairs |= outcome.pairs
-    merged = Hypothesis(pairs)
+        pairs_mask |= outcome.pairs_mask
+    # The LUB of masks decodes through a coordinator-side table built
+    # from the same task universe as every worker's.
+    merged = Hypothesis(TaskTable(tasks).pairs_of(pairs_mask))
     return LearningResult(
         functions=[merged.to_function(stats)],
         hypotheses=[merged],

@@ -138,6 +138,24 @@ class CoExecutionStats:
         """
         return self.exclusive_count(s, r) == 0
 
+    def certain_flags(self, table) -> list[bool]:
+        """Index-addressed ``always_implies``: the fast path of the kernel.
+
+        Returns a dense list over the pair indices of *table* (a
+        :class:`~repro.core.interning.TaskTable`) with ``flags[i]`` the
+        ``always_implies`` verdict of the ordered pair at index ``i``.
+        Built in one pass over the sparse exclusive counts — ``O(t^2)``
+        allocation plus one write per non-zero count — instead of
+        ``t^2`` keyed dictionary probes.
+        """
+        flags = [True] * (table.task_count * table.task_count)
+        t = table.task_count
+        task_id = table.task_id
+        for (s, r), count in self._exclusive.items():
+            if count:
+                flags[task_id(s) * t + task_id(r)] = False
+        return flags
+
     def merge(self, other: "CoExecutionStats") -> None:
         """Fold another run's counts into this one (shard merging).
 

@@ -51,6 +51,12 @@ class PipelineConfig:
     dot / graphml / model_json / report:
         Report-stage output paths; any non-``None`` value enables the
         report stage (which requires the learn stage).
+    profile_json:
+        Path to write the run's machine-readable profile to (per-stage
+        wall clock plus the learner's hot-loop counters; see
+        :meth:`~repro.pipeline.engine.PipelineRun.profile`). Written by
+        :meth:`~repro.pipeline.engine.LearnPipeline.run` after the last
+        stage.
     """
 
     source: str | None = None
@@ -70,6 +76,7 @@ class PipelineConfig:
     graphml: str | None = None
     model_json: str | None = None
     report: str | None = None
+    profile_json: str | None = None
 
     def report_outputs(self) -> list[tuple[str, str]]:
         """The configured ``(kind, path)`` report outputs, in write order."""

@@ -20,6 +20,7 @@ Stage errors propagate as :class:`~repro.errors.ReproError` (or
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -100,6 +101,38 @@ class PipelineRun:
             f"{label.ljust(width)}  {seconds:.6f}s" for label, seconds in rows
         )
 
+    def profile(self) -> dict:
+        """The run's performance profile as a JSON-ready dictionary.
+
+        Machine-readable twin of :meth:`timing_summary`: per-stage wall
+        clock in run order, the learner's hot-loop counters and phase
+        seconds (when the learn stage ran), and the headline run facts
+        (periods, messages, peak pool size, workers). This is what
+        ``repro learn --profile-json PATH`` writes.
+        """
+        data: dict = {
+            "stages": [
+                {"name": t.name, "seconds": t.seconds} for t in self.timings
+            ],
+            "total_seconds": sum(t.seconds for t in self.timings),
+        }
+        result = self.result
+        if result is not None:
+            data["learn"] = {
+                "algorithm": getattr(result, "algorithm", None),
+                "bound": getattr(result, "bound", None),
+                "workers": getattr(result, "workers", 1),
+                "periods": getattr(result, "periods", None),
+                "messages": getattr(result, "messages", None),
+                "peak_hypotheses": getattr(result, "peak_hypotheses", None),
+                "merge_count": getattr(result, "merge_count", None),
+                "elapsed_seconds": getattr(result, "elapsed_seconds", None),
+            }
+            hot = getattr(result, "hot_loop", None)
+            if hot is not None:
+                data["hot_loop"] = hot.as_dict()
+        return data
+
 
 class LearnPipeline:
     """Compose and run the stages a :class:`PipelineConfig` enables.
@@ -152,6 +185,10 @@ class LearnPipeline:
             run.timings.append(timing)
             if self.on_stage is not None:
                 self.on_stage(timing, run)
+        if self.config.profile_json is not None:
+            with open(self.config.profile_json, "w", encoding="utf-8") as f:
+                json.dump(run.profile(), f, indent=2)
+                f.write("\n")
         return run
 
     # -- stages ----------------------------------------------------------

@@ -106,7 +106,8 @@ class TestDifferential:
         for period in trace.periods:
             learner.feed(period)
             for hypothesis in learner._hypotheses:
-                assert learner._weights[hypothesis.pairs] == _set_weight(
+                mask = learner.table.mask_of(hypothesis.pairs)
+                assert learner._weights[mask] == _set_weight(
                     hypothesis.pairs, learner.stats
                 )
 
@@ -133,7 +134,8 @@ class TestDifferential:
         for period in trace.periods:
             learner.feed(period)
             for hypothesis in learner._hypotheses:
-                assert learner._weights[hypothesis.pairs] == _set_weight(
+                mask = learner.table.mask_of(hypothesis.pairs)
+                assert learner._weights[mask] == _set_weight(
                     hypothesis.pairs, learner.stats, distance
                 )
         assert learner._counters.weight_refresh_scratch == 0
@@ -282,6 +284,7 @@ class TestAllOrNothingFeed:
                 with pytest.raises(EmptyHypothesisSpaceError):
                     learner.feed(bad_period(trace.tasks))
             for hypothesis in learner._hypotheses:
-                assert learner._weights[hypothesis.pairs] == _set_weight(
+                mask = learner.table.mask_of(hypothesis.pairs)
+                assert learner._weights[mask] == _set_weight(
                     hypothesis.pairs, learner.stats
                 )

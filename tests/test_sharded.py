@@ -250,6 +250,6 @@ class TestMergePrimitives:
         trace = paper_figure2_trace()
         outcome = learn_shard(trace.tasks, trace.periods, 4, 0.0)
         assert outcome.periods == len(trace)
-        assert outcome.pairs  # learned something
+        assert outcome.pairs_mask  # learned something
         merged = merge_outcomes(trace.tasks, [outcome], 4, 1, 0.0)
         assert merged.lub() == learn_bounded(trace, 4).lub()
