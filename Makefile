@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-verbose bench-json bench-check examples all clean
+.PHONY: install test lint lint-fix repro-lint bench bench-verbose bench-json bench-check examples all clean
 
 PYTHON ?= python
 
@@ -7,6 +7,23 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Full static pass: style (ruff), types (mypy, strict for the kernel
+# boundary modules), and the codebase invariants (repro-lint RL001-RL005).
+lint:
+	$(PYTHON) -m ruff check src/repro
+	$(PYTHON) -m mypy src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src/repro --json lint-report.json
+
+# Invariant checker alone (no ruff/mypy install needed; stdlib only).
+repro-lint:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src/repro
+
+# Apply every auto-fix ruff knows, then re-run the invariant checker so
+# mechanical fixes cannot silently break a lint-enforced invariant.
+lint-fix:
+	$(PYTHON) -m ruff check --fix src/repro tests benchmarks
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src/repro
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

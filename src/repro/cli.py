@@ -6,6 +6,7 @@ A small operational surface over the library::
     repro validate trace.log
     repro learn trace.json --bound 32 --workers 4 --dot graph.dot
     repro monitor trace.log --model model.json
+    repro lint src/repro --json lint-report.json
 
 Every command is a thin handler over :mod:`repro.pipeline`: the argparse
 namespace maps onto a :class:`~repro.pipeline.config.PipelineConfig`,
@@ -129,6 +130,15 @@ def _build_parser() -> argparse.ArgumentParser:
     cover.add_argument("trace")
     _add_format_flag(cover)
     cover.add_argument("--design-file", required=True)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check codebase invariants (determinism, "
+        "hot-loop purity, mask boundary, shard safety, paper anchors)",
+    )
+    from repro.devtools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -257,6 +267,12 @@ def _cmd_coverage(args: argparse.Namespace, out: TextIO) -> int:
     return 0 if run.coverage.exhaustive else 1
 
 
+def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.devtools.lint.cli import run_lint
+
+    return run_lint(args, out)
+
+
 def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
     """Entry point; returns the process exit code."""
     stream = out if out is not None else sys.stdout
@@ -269,6 +285,7 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
         "monitor": _cmd_monitor,
         "analyze": _cmd_analyze,
         "coverage": _cmd_coverage,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args, stream)

@@ -46,7 +46,7 @@ from repro.trace.trace import Trace
 class IncrementalLearner:
     """Base of the incremental learners: all-or-nothing ``feed`` envelope."""
 
-    def __init__(self, tasks: Iterable[str], tolerance: float = 0.0):
+    def __init__(self, tasks: Iterable[str], tolerance: float = 0.0) -> None:
         self.stats = CoExecutionStats(tasks)
         self.tolerance = tolerance
         self._counters = HotLoopCounters()
@@ -67,11 +67,15 @@ class IncrementalLearner:
         """Undo the message loop's counter mutations after a failure."""
         raise NotImplementedError
 
-    def _absorb(self, period: Period, dirty: frozenset, mark: float) -> object:
+    def _absorb(
+        self, period: Period, dirty: frozenset[tuple[str, str]], mark: float
+    ) -> object:
         """Process one period's messages; returns post-processing input."""
         raise NotImplementedError
 
-    def _finish_period(self, pending: object, dirty: frozenset) -> None:
+    def _finish_period(
+        self, pending: object, dirty: frozenset[tuple[str, str]]
+    ) -> None:
         """Drop per-period assumptions and unify the survivors."""
         raise NotImplementedError
 
@@ -153,7 +157,7 @@ class MaskedLearner(IncrementalLearner):
     ``self._masks`` so the cached decoding cannot go stale.
     """
 
-    def __init__(self, tasks: Iterable[str], tolerance: float = 0.0):
+    def __init__(self, tasks: Iterable[str], tolerance: float = 0.0) -> None:
         super().__init__(tasks, tolerance)
         self.table = TaskTable(self.stats.tasks)
         self._masks: list[int] = [0]

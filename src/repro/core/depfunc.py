@@ -194,8 +194,8 @@ class DependencyFunction:
         else:
             display = {v: v.value for v in lattice.ALL_VALUES}
         width = max(
-            [len(name) for name in self._tasks]
-            + [len(text) for text in display.values()]
+            max(len(name) for name in self._tasks),
+            max(len(text) for text in display.values()),
         )
         header = " " * (width + 1) + " ".join(n.rjust(width) for n in self._tasks)
         lines = [header]

@@ -27,6 +27,7 @@ import time
 from typing import Iterable, Sequence
 
 from repro.core.base import MaskedLearner
+from repro.core.instrumentation import hot_loop
 from repro.core.candidates import candidate_pairs
 from repro.core.result import LearningResult
 from repro.errors import EmptyHypothesisSpaceError, LearningError
@@ -34,6 +35,7 @@ from repro.trace.period import Period
 from repro.trace.trace import Trace
 
 
+@hot_loop
 def _remove_redundant_masks(masks: Iterable[int]) -> list[int]:
     """Keep only minimal pair masks under inclusion.
 
@@ -90,8 +92,9 @@ class ExactLearner(MaskedLearner):
     def _restore_run_state(self, state: object) -> None:
         self._messages, self._peak = state
 
+    @hot_loop
     def _absorb(
-        self, period: Period, dirty: frozenset, mark: float
+        self, period: Period, dirty: frozenset[tuple[str, str]], mark: float
     ) -> Sequence[tuple[int, int]]:
         counters = self._counters
         table = self.table
@@ -120,7 +123,7 @@ class ExactLearner(MaskedLearner):
         return current
 
     def _finish_period(
-        self, pending: Sequence[tuple[int, int]], dirty: frozenset
+        self, pending: Sequence[tuple[int, int]], dirty: frozenset[tuple[str, str]]
     ) -> None:
         # Drop assumptions, unify, remove redundant.
         self._masks = _remove_redundant_masks(mask for mask, _pmask in pending)

@@ -64,6 +64,7 @@ from typing import Iterable, Sequence
 
 from repro.core import lattice
 from repro.core.base import MaskedLearner
+from repro.core.instrumentation import hot_loop
 from repro.core.candidates import candidate_pairs
 from repro.core.hypothesis import Hypothesis
 from repro.core.interning import WeightKernel
@@ -154,8 +155,9 @@ class BoundedLearner(MaskedLearner):
         # incremental flip path instead of rebuilding the table.
         self._kernel_version = self.stats.version
 
+    @hot_loop
     def _absorb(
-        self, period: Period, dirty: frozenset, mark: float
+        self, period: Period, dirty: frozenset[tuple[str, str]], mark: float
     ) -> list[_Entry]:
         counters = self._counters
         table = self.table
@@ -193,7 +195,8 @@ class BoundedLearner(MaskedLearner):
             self._kernel.unflip(dirty_indices)
             raise
 
-    def _finish_period(self, pending: list[_Entry], dirty: frozenset) -> None:
+    @hot_loop
+    def _finish_period(self, pending: list[_Entry], dirty: frozenset[tuple[str, str]]) -> None:
         # Drop assumptions and unify equal pair sets. Unlike the exact
         # algorithm, the heuristic keeps dominated hypotheses: deleting a
         # strict generalization can remove pairs from the working list's
@@ -209,6 +212,8 @@ class BoundedLearner(MaskedLearner):
         if self._incremental:
             self._weights = by_mask
 
+    # Boundary code: primes decoded Hypothesis objects, not the mask pool.
+    # repro-lint: ignore[RL002]
     def _prime_decoded(self, decoded: list[Hypothesis]) -> None:
         # Decoding happens at the boundary (result(), checkpoints,
         # sharding); seed the Hypothesis.weight memo with the carried
@@ -222,6 +227,7 @@ class BoundedLearner(MaskedLearner):
             if weight is not None:
                 hypothesis.prime_weight(version, weight)
 
+    @hot_loop
     def _refresh_weights(self, dirty_indices: Sequence[int]) -> list[_Entry]:
         """Bring carried hypothesis weights up to date with the new period.
 
@@ -251,6 +257,7 @@ class BoundedLearner(MaskedLearner):
             entries.append((mask, 0, weight))
         return entries
 
+    @hot_loop
     def _process_message(
         self,
         entries: list[_Entry],
@@ -314,6 +321,7 @@ class BoundedLearner(MaskedLearner):
         return [(mask, pmask, weight) for (mask, pmask), weight in pool.items()]
 
     @staticmethod
+    @hot_loop
     def _reassign_period(
         mask: int, history: Sequence[Sequence[int]]
     ) -> tuple[int, int] | None:
@@ -363,6 +371,7 @@ class BoundedLearner(MaskedLearner):
         return mask | used | current, used
 
     @staticmethod
+    @hot_loop
     def _pop_lightest(
         pool: dict[_PoolKey, int],
         heap: list[tuple[int, int, _PoolKey]],

@@ -17,6 +17,26 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def hot_loop(func: F) -> F:
+    """Marker: *func* is a mask-kernel hot loop; purity is lint-enforced.
+
+    A zero-cost decorator (the function is returned unchanged, with an
+    attribute stamped for introspection). Marked functions promise to
+    operate on the interned integer representation only — no mask
+    decoding, no string pair-set construction, no per-iteration string
+    formatting — and ``repro-lint`` rule RL002 statically enforces that
+    promise on every commit. Conversely, every loop-bearing function in
+    the kernel modules must either carry this marker or a
+    ``# repro-lint: ignore[RL002]`` waiver identifying it as boundary
+    code.
+    """
+    func.__repro_hot_loop__ = True  # type: ignore[attr-defined]
+    return func
 
 
 @dataclass

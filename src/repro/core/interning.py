@@ -45,6 +45,7 @@ from functools import lru_cache
 from typing import Iterable, Iterator, Sequence
 
 from repro.core import lattice
+from repro.core.instrumentation import hot_loop
 from repro.core.stats import CoExecutionStats
 from repro.core.weights import DistanceFunction
 
@@ -71,7 +72,7 @@ class TaskTable:
         "mirror_index",
     )
 
-    def __init__(self, tasks: Iterable[str]):
+    def __init__(self, tasks: Iterable[str]) -> None:
         self.tasks = tuple(tasks)
         self.ordered: tuple[str, ...] = tuple(sorted(set(self.tasks)))
         t = len(self.ordered)
@@ -107,17 +108,20 @@ class TaskTable:
         """``1 << pair_index(pair)``; rejects diagonal (s == r) pairs."""
         return self._bit_by_pair[pair]
 
+    @hot_loop
     def bits_of(self, pairs: Sequence[Pair]) -> tuple[int, ...]:
         """The pair bits of *pairs*, preserving order (hot-loop interning)."""
         bit = self._bit_by_pair
         return tuple(bit[pair] for pair in pairs)
 
+    @hot_loop
     def indices_of(self, pairs: Iterable[Pair]) -> tuple[int, ...]:
         """Dense indices of *pairs* (order preserved)."""
         t = self.task_count
         ids = self._id
         return tuple(ids[s] * t + ids[r] for s, r in pairs)
 
+    @hot_loop
     def mask_of(self, pairs: Iterable[Pair]) -> int:
         """Intern a pair collection as a bitmask."""
         bit = self._bit_by_pair
@@ -126,6 +130,7 @@ class TaskTable:
             mask |= bit[pair]
         return mask
 
+    @hot_loop
     def iter_indices(self, mask: int) -> Iterator[int]:
         """Indices of the set bits of *mask*, ascending."""
         while mask:
@@ -143,6 +148,7 @@ class TaskTable:
         pair_at = self._pair_by_index
         return tuple(pair_at[index] for index in self.iter_indices(mask))
 
+    @hot_loop
     def mirror_mask(self, mask: int) -> int:
         """The mask with every pair ``(s, r)`` replaced by ``(r, s)``."""
         mirror = self.mirror_index
@@ -178,7 +184,7 @@ class PairSet:
 
     __slots__ = ("table", "mask")
 
-    def __init__(self, table: TaskTable, mask: int = 0):
+    def __init__(self, table: TaskTable, mask: int = 0) -> None:
         self.table = table
         self.mask = mask
 
@@ -270,7 +276,7 @@ class WeightKernel:
         table: TaskTable,
         stats: CoExecutionStats,
         distance: DistanceFunction = lattice.distance,
-    ):
+    ) -> None:
         self.table = table
         self._mirror = table.mirror_index
         certain = stats.certain_flags(table)
@@ -294,6 +300,7 @@ class WeightKernel:
     # Certainty maintenance (dirty-pair refresh)
     # ------------------------------------------------------------------
 
+    @hot_loop
     def flip(self, indices: Iterable[int]) -> None:
         """Mark the term *indices* uncertain (an ``always_implies`` flip)."""
         d_may_det, d_may_dep, d_may_mut = self._d_maybe
@@ -304,6 +311,7 @@ class WeightKernel:
             self._term_b[index] = d_may_dep
             self._term_fb[index] = d_may_mut
 
+    @hot_loop
     def unflip(self, indices: Iterable[int]) -> None:
         """Undo :meth:`flip` after a rolled-back period."""
         d_det, d_dep, d_mut = self._d_certain
@@ -318,6 +326,7 @@ class WeightKernel:
     # Weight evaluation
     # ------------------------------------------------------------------
 
+    @hot_loop
     def term_weight(self, mask: int, index: int) -> int:
         """Distance contribution of one ordered term under *mask*."""
         forward = mask >> index & 1
@@ -326,6 +335,7 @@ class WeightKernel:
             return self._term_fb[index] if backward else self._term_f[index]
         return self._term_b[index] if backward else 0
 
+    @hot_loop
     def set_weight(self, mask: int) -> int:
         """Definition 8 weight of *mask* from scratch (boundary fallback)."""
         touched = mask | self.table.mirror_mask(mask)
@@ -336,6 +346,7 @@ class WeightKernel:
             touched ^= low
         return weight
 
+    @hot_loop
     def extension_delta(self, mask: int, bit: int) -> int:
         """Weight change from ``mask`` to ``mask | bit`` (one new pair)."""
         if mask & bit:
@@ -353,6 +364,7 @@ class WeightKernel:
             )
         return self._term_f[index] + self._term_b[mirror]
 
+    @hot_loop
     def union_delta(self, base: int, other: int) -> int:
         """Weight change from ``base`` to ``base | other`` (LUB merge)."""
         new = other & ~base
@@ -369,6 +381,7 @@ class WeightKernel:
             touched ^= low
         return delta
 
+    @hot_loop
     def flip_delta(self, mask: int, index: int) -> int:
         """Weight change of *mask* when term *index* flips to uncertain.
 

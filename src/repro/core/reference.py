@@ -177,7 +177,7 @@ class ReferenceBoundedLearner(IncrementalLearner):
         self._messages, self._peak, self._merges = state
 
     def _absorb(
-        self, period: Period, dirty: frozenset, mark: float
+        self, period: Period, dirty: frozenset[tuple[str, str]], mark: float
     ) -> list[tuple[Hypothesis, int]]:
         counters = self._counters
         entries = self._refresh_weights(dirty)
@@ -198,7 +198,7 @@ class ReferenceBoundedLearner(IncrementalLearner):
         return entries
 
     def _finish_period(
-        self, pending: list[tuple[Hypothesis, int]], dirty: frozenset
+        self, pending: list[tuple[Hypothesis, int]], dirty: frozenset[tuple[str, str]]
     ) -> None:
         by_pairs: dict[frozenset, Hypothesis] = {}
         weights: dict[frozenset, int] = {}
@@ -389,7 +389,7 @@ class ReferenceExactLearner(IncrementalLearner):
         self._messages, self._peak = state
 
     def _absorb(
-        self, period: Period, dirty: frozenset, mark: float
+        self, period: Period, dirty: frozenset[tuple[str, str]], mark: float
     ) -> list[Hypothesis]:
         counters = self._counters
         current = self._hypotheses
@@ -416,7 +416,7 @@ class ReferenceExactLearner(IncrementalLearner):
         counters.process_seconds += time.perf_counter() - mark
         return current
 
-    def _finish_period(self, pending: list[Hypothesis], dirty: frozenset) -> None:
+    def _finish_period(self, pending: list[Hypothesis], dirty: frozenset[tuple[str, str]]) -> None:
         minimal = _remove_redundant(h.pairs for h in pending)
         self._hypotheses = [Hypothesis(pairs) for pairs in minimal]
 

@@ -45,7 +45,7 @@ from typing import Sequence
 
 from repro.core.heuristic import BoundedLearner
 from repro.core.hypothesis import Hypothesis
-from repro.core.instrumentation import HotLoopCounters
+from repro.core.instrumentation import HotLoopCounters, hot_loop
 from repro.core.interning import TaskTable
 from repro.core.result import LearningResult
 from repro.core.stats import CoExecutionStats
@@ -81,6 +81,7 @@ class ShardOutcome:
     hot_loop: HotLoopCounters
 
 
+@hot_loop
 def split_periods(
     periods: Sequence[Period], shard_count: int
 ) -> list[Sequence[Period]]:
@@ -103,6 +104,7 @@ def split_periods(
     return shards
 
 
+@hot_loop
 def learn_shard(
     tasks: Sequence[str],
     periods: Sequence[Period],
@@ -132,6 +134,8 @@ def _learn_shard_args(args: tuple) -> ShardOutcome:
     return learn_shard(*args)
 
 
+# Boundary code: decodes the merged LUB mask back to string pairs.
+# repro-lint: ignore[RL002]
 def merge_outcomes(
     tasks: Sequence[str],
     outcomes: Sequence[ShardOutcome],

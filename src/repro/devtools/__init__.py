@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repository.
+
+Nothing under ``repro.devtools`` is imported by the production library;
+these modules exist so the repository can enforce its own invariants
+(see :mod:`repro.devtools.lint`) with the same toolchain contributors
+already have installed.
+"""

@@ -1,0 +1,39 @@
+"""repro-lint: AST-based invariant checker for this codebase.
+
+The bitmask kernel and the learning pipeline rest on invariants the
+test suite can only *sample* — bit-for-bit deterministic output,
+string-free hot loops, a hard string boundary around ``repro.core``,
+picklable shard submissions, and docstring citations that resolve into
+``DESIGN.md``. This package proves them statically on every commit:
+
+========  =============================================================
+RL001     deterministic iteration on output paths (no unsorted sets)
+RL002     hot-loop purity in ``@hot_loop``-marked kernel functions
+RL003     mask/``PairSet`` internals never leave ``repro.core``
+RL004     process-pool submissions are picklable (no lambdas/closures)
+RL005     ``Definition N``/``Theorem N``/``Lemma`` citations resolve
+========  =============================================================
+
+Findings are suppressed per line with ``# repro-lint: ignore[RL00x]``
+(see :mod:`repro.devtools.lint.suppressions` for the policy). Run via
+``repro lint``, ``python -m repro.devtools.lint``, or ``make lint``.
+"""
+
+from repro.devtools.lint.engine import (
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.lint.findings import Finding, LintReport
+from repro.devtools.lint.registry import Rule, all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,180 @@
+"""The lint engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``)
+so it runs anywhere the repository checks out — CI, a contributor's
+laptop, a pre-commit hook — without the production package installed.
+
+Entry points:
+
+:func:`lint_paths`
+    Lint files and directories (directories recurse over ``*.py``) and
+    return a :class:`~repro.devtools.lint.findings.LintReport`.
+
+:func:`lint_source`
+    Lint one in-memory source string — the unit-test surface: rule
+    fixtures pass a snippet, a fake module name, and (for RL005) an
+    explicit anchor set.
+
+Paper anchors for RL005 are harvested from the nearest ``DESIGN.md``
+found walking up from each linted file; the harvest is cached per
+DESIGN.md path so a whole-tree run reads it once.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.findings import Finding, LintReport
+from repro.devtools.lint.registry import ModuleContext, Rule, all_rules
+from repro.devtools.lint.rules import rl005_anchors  # noqa: F401  (registers rules)
+from repro.devtools.lint.suppressions import scan_suppressions
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", "build", "dist"})
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of *path*, best effort.
+
+    Finds the last ``src`` (or, failing that, the first ``repro``)
+    component and joins everything after it; falls back to the bare stem
+    for paths outside any package layout (test fixtures in tmp dirs).
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    anchor = -1
+    for index, part in enumerate(parts):
+        if part == "src":
+            anchor = index
+    if anchor < 0 and "repro" in parts:
+        anchor = parts.index("repro") - 1
+    if anchor < 0 or anchor + 1 >= len(parts):
+        return parts[-1] if parts else ""
+    return ".".join(parts[anchor + 1:])
+
+
+_ANCHOR_CACHE: dict[Path, frozenset[str]] = {}
+
+
+def design_anchors_for(path: Path) -> frozenset[str] | None:
+    """Anchors of the nearest ``DESIGN.md`` above *path* (cached)."""
+    try:
+        probe = path.resolve().parent
+    except OSError:
+        return None
+    for directory in [probe, *probe.parents]:
+        candidate = directory / "DESIGN.md"
+        if candidate.is_file():
+            cached = _ANCHOR_CACHE.get(candidate)
+            if cached is None:
+                cached = rl005_anchors.extract_anchors(
+                    candidate.read_text(encoding="utf-8")
+                )
+                _ANCHOR_CACHE[candidate] = cached
+            return cached
+    return None
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``*.py`` list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(candidate.parts):
+                    seen.setdefault(candidate, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+    return sorted(seen)
+
+
+def lint_source(
+    source: str,
+    path: str = "<fixture>.py",
+    module: str | None = None,
+    anchors: Iterable[str] | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one source string; the unit-test entry point.
+
+    Findings silenced by suppression comments come back with
+    ``suppressed=True`` (not dropped), mirroring the file engine.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule="PARSE",
+                path=path,
+                line=error.lineno or 1,
+                column=error.offset or 0,
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        path=path,
+        module=module if module is not None else module_name_for(Path(path)),
+        source=source,
+        tree=tree,
+        anchors=frozenset(anchors) if anchors is not None else None,
+    )
+    suppressions = scan_suppressions(source)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding.rule, finding.line):
+                finding = finding.suppress()
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_file(path: Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint one file from disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [
+            Finding(
+                rule="PARSE",
+                path=str(path),
+                line=1,
+                column=0,
+                message=f"cannot read file: {error}",
+            )
+        ]
+    return lint_source(
+        source,
+        path=str(path),
+        module=module_name_for(path),
+        anchors=design_anchors_for(path),
+        rules=rules,
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint files and directories into one report."""
+    report = LintReport()
+    files = discover_files(paths)
+    report.files_checked = len(files)
+    for path in files:
+        report.extend(lint_file(path, rules))
+    return report.finish()
+
+
+__all__ = [
+    "discover_files",
+    "design_anchors_for",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]

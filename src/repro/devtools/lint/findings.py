@@ -1,0 +1,111 @@
+"""Finding and report types of the repro-lint pass.
+
+A :class:`Finding` is one rule violation pinned to a file position; a
+:class:`LintReport` is the outcome of linting a set of files, split into
+*active* findings (which fail the run) and *suppressed* ones (silenced
+by a ``# repro-lint: ignore[RULE]`` comment, kept for accounting so the
+JSON artifact shows what was waived and where).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
+
+REPORT_FORMAT = "repro-lint-report"
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a file position."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    suppressed: bool = False
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule)
+
+    def render(self) -> str:
+        """The human one-liner: ``path:line:col: RULE message``."""
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} {self.message}{tag}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def suppress(self) -> "Finding":
+        return replace(self, suppressed=True)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, in deterministic order."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def finish(self) -> "LintReport":
+        """Sort findings into the canonical (path, line, col, rule) order."""
+        self.findings.sort(key=Finding.sort_key)
+        return self
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that fail the run (not suppressed)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Active finding count per rule code (sorted by code)."""
+        counts: dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": REPORT_FORMAT,
+            "version": REPORT_VERSION,
+            "files_checked": self.files_checked,
+            "summary": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in self.active],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable report: one line per active finding + summary."""
+        lines = [f.render() for f in self.active]
+        lines.append(
+            f"{len(self.active)} finding(s) "
+            f"({len(self.suppressed)} suppressed) "
+            f"in {self.files_checked} file(s)"
+        )
+        return "\n".join(lines)
+
+
+__all__ = ["Finding", "LintReport", "REPORT_FORMAT", "REPORT_VERSION"]

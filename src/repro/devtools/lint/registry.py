@@ -1,0 +1,188 @@
+"""The rule registry: rule base class, registration, lookup.
+
+Rules self-register at import time via the :func:`register` decorator;
+:mod:`repro.devtools.lint.rules` imports every rule module so importing
+the package populates the registry. Each rule owns one code (``RLnnn``),
+a one-line summary, and the invariant it protects (shown by
+``repro lint --list-rules`` and quoted in the docs).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Type, TypeVar
+
+from repro.devtools.lint.findings import Finding
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may look at for one file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    #: Paper anchors harvested from DESIGN.md (``Definition 8``,
+    #: ``Theorem 2``, ``Lemma``); None when no DESIGN.md was found, in
+    #: which case anchor-dependent rules skip the file.
+    anchors: frozenset[str] | None = None
+    _parents: dict[ast.AST, ast.AST] | None = None
+
+    def parent_of(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of *node* (lazily built once per file)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents.get(node)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.code,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class Rule:
+    """Base of all repro-lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one module. Rules must be pure functions of
+    the context: no filesystem access, no mutation, deterministic
+    output order (the engine sorts findings, but rule determinism keeps
+    JSON reports diffable).
+    """
+
+    code: str = "RL000"
+    name: str = "unnamed"
+    invariant: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Module filter; rules scoped to package subsets override this."""
+        return True
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+R = TypeVar("R", bound=Type[Rule])
+
+
+def register(rule_cls: R) -> R:
+    """Class decorator: instantiate and register a rule by its code."""
+    rule = rule_cls()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code: {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    return _REGISTRY[code.upper()]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+
+def call_name(func: ast.AST) -> str | None:
+    """The trailing name of a call target (``Name`` or ``Attribute``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def top_level_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Module-level functions and class methods (nested defs excluded)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item
+
+
+def decorator_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    names: set[str] = set()
+    for decorator in func.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = call_name(target)
+        if name:
+            names.add(name)
+    return names
+
+
+def walk_scoped(
+    node: ast.AST,
+    in_loop: bool,
+    visit: Callable[[ast.AST, bool], None],
+    skip: Iterable[Type[ast.AST]] = (),
+) -> None:
+    """Walk *node* tracking whether each descendant executes inside a loop.
+
+    ``For``/``While`` bodies (and comprehension elements past the first,
+    once-evaluated iterable) count as in-loop; subtrees whose type is in
+    *skip* are not entered at all.
+    """
+    if isinstance(node, tuple(skip)):
+        return
+    visit(node, in_loop)
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        walk_scoped(node.iter, in_loop, visit, skip)
+        walk_scoped(node.target, in_loop, visit, skip)
+        for child in node.body + node.orelse:
+            walk_scoped(child, True, visit, skip)
+    elif isinstance(node, ast.While):
+        walk_scoped(node.test, True, visit, skip)
+        for child in node.body + node.orelse:
+            walk_scoped(child, True, visit, skip)
+    elif isinstance(
+        node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+    ):
+        for index, generator in enumerate(node.generators):
+            walk_scoped(generator.iter, in_loop or index > 0, visit, skip)
+            walk_scoped(generator.target, True, visit, skip)
+            for condition in generator.ifs:
+                walk_scoped(condition, True, visit, skip)
+        if isinstance(node, ast.DictComp):
+            walk_scoped(node.key, True, visit, skip)
+            walk_scoped(node.value, True, visit, skip)
+        else:
+            walk_scoped(node.elt, True, visit, skip)
+    else:
+        for child in ast.iter_child_nodes(node):
+            walk_scoped(child, in_loop, visit, skip)
+
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "call_name",
+    "top_level_functions",
+    "decorator_names",
+    "walk_scoped",
+]

@@ -1,0 +1,9 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.devtools.lint.rules import (  # noqa: F401
+    rl001_determinism,
+    rl002_hot_loop,
+    rl003_boundary,
+    rl004_pickle,
+    rl005_anchors,
+)

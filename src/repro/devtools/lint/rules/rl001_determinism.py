@@ -1,0 +1,187 @@
+"""RL001 — deterministic iteration on output paths.
+
+The reproduction's headline guarantee is *bit-for-bit* output identity:
+checkpoints, model JSON, reports and CLI text must not depend on
+``PYTHONHASHSEED``. Sets (and, conservatively, ``dict.values()`` views
+whose insertion order is an accident of the call site) iterate in hash
+order; any such iteration that feeds an output artifact must pass
+through ``sorted(...)`` first.
+
+The rule is scoped to the modules that produce externally visible
+bytes (results, checkpoints, reports, trace writers, CLI, pipeline)
+and flags:
+
+* ``for``-loops whose iterable is set-typed;
+* ordered comprehensions (list/dict/generator) drawing from a
+  set-typed iterable, unless the comprehension is consumed whole by an
+  order-insensitive reducer (``sum``, ``min``, ``max``, ``any``,
+  ``all``, ``len``, ``sorted``, ``set``, ``frozenset``);
+* order-sensitive wrappers — ``list()``, ``tuple()``, ``enumerate()``
+  and ``str.join`` — applied directly to a set-typed expression.
+
+"Set-typed" is judged syntactically: ``set(...)``/``frozenset(...)``
+calls, set literals and comprehensions, ``.values()`` calls, local
+names assigned from those, and the codebase's known frozenset
+attributes (``.pairs`` / ``.period_pairs`` of a hypothesis). Set
+comprehensions over sets are exempt (no order can leak from an
+unordered result).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import (
+    ModuleContext,
+    Rule,
+    call_name,
+    register,
+)
+
+#: Modules whose output must be hash-seed independent.
+OUTPUT_MODULE_PREFIXES = (
+    "repro.cli",
+    "repro.core.result",
+    "repro.core.checkpoint",
+    "repro.core.depfunc",
+    "repro.analysis.report",
+    "repro.analysis.dossier",
+    "repro.bench.reporting",
+    "repro.pipeline",
+    "repro.trace.formats",
+    "repro.trace.textio",
+    "repro.trace.csvio",
+    "repro.trace.jsonio",
+    "repro.trace.canlog",
+)
+
+#: Consuming these with a set argument cannot leak iteration order.
+ORDER_INSENSITIVE = frozenset(
+    {"sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset"}
+)
+
+#: Wrapping a set in these preserves (and therefore leaks) hash order.
+ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "enumerate"})
+
+#: Attributes known to be frozensets throughout the codebase.
+SET_ATTRIBUTES = frozenset({"pairs", "period_pairs"})
+
+
+def _is_set_producer(node: ast.AST) -> bool:
+    """Does this expression *syntactically* produce an unordered view?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node.func)
+        if isinstance(node.func, ast.Name) and name in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and name == "values":
+            return True
+    if isinstance(node, ast.Attribute) and node.attr in SET_ATTRIBUTES:
+        return True
+    return False
+
+
+class _ScopeSets(ast.NodeVisitor):
+    """Collect local names bound to set-typed expressions in one scope."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_producer(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _is_set_producer(node.value):
+            if isinstance(node.target, ast.Name):
+                self.names.add(node.target.id)
+        self.generic_visit(node)
+
+    # Nested scopes share the name pool conservatively; a false name
+    # collision only widens the set of flagged iterables, and the fix
+    # (sorted) is harmless.
+
+
+@register
+class DeterminismRule(Rule):
+    code = "RL001"
+    name = "deterministic-output-iteration"
+    invariant = (
+        "output artifacts (checkpoints, model JSON, reports, CLI text) "
+        "are byte-identical across PYTHONHASHSEED values: no unsorted "
+        "set/dict.values() iteration may feed them"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith(OUTPUT_MODULE_PREFIXES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.applies_to(ctx):
+            return
+        collector = _ScopeSets()
+        collector.visit(ctx.tree)
+        set_names = collector.names
+
+        def is_unordered(node: ast.AST) -> bool:
+            if _is_set_producer(node):
+                return True
+            return isinstance(node, ast.Name) and node.id in set_names
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_unordered(node.iter):
+                    yield ctx.finding(
+                        self,
+                        node.iter,
+                        "iteration over an unordered set feeds an output "
+                        "path; wrap the iterable in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                if not any(
+                    is_unordered(gen.iter) for gen in node.generators
+                ):
+                    continue
+                parent = ctx.parent_of(node)
+                if (
+                    isinstance(parent, ast.Call)
+                    and call_name(parent.func) in ORDER_INSENSITIVE
+                    and len(parent.args) >= 1
+                    and parent.args[0] is node
+                ):
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    "ordered comprehension over an unordered set on an "
+                    "output path; sort the iterable or reduce it with an "
+                    "order-insensitive function",
+                )
+            elif isinstance(node, ast.Call):
+                name = call_name(node.func)
+                wrapper = (
+                    isinstance(node.func, ast.Name)
+                    and name in ORDER_SENSITIVE_WRAPPERS
+                )
+                joiner = (
+                    isinstance(node.func, ast.Attribute) and name == "join"
+                )
+                if (
+                    (wrapper or joiner)
+                    and node.args
+                    and is_unordered(node.args[0])
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{name}(...) over an unordered set preserves hash "
+                        "order on an output path; sort first",
+                    )
+
+
+__all__ = ["DeterminismRule", "OUTPUT_MODULE_PREFIXES"]

@@ -1,0 +1,135 @@
+"""RL004 — shard/pickle safety at the process-pool boundary.
+
+Shard-parallel learning (:mod:`repro.core.sharded`) ships work to
+``ProcessPoolExecutor`` workers, which pickle the callable and every
+argument. Lambdas, nested functions and closures pickle by *reference
+to a module-level name* — which they do not have — so they fail at
+submit time on some platforms and, worse, only at result time on
+others. The rule keeps the boundary statically safe:
+
+* callables submitted via ``pool.submit(f, ...)`` / ``pool.map(f, ...)``
+  (where ``pool`` is bound to a ``ProcessPoolExecutor`` by a ``with``
+  item or an assignment in the same function) must be module-level
+  ``def``s or imported names — never lambdas, nested defs, or local
+  names bound to lambdas;
+* lambdas anywhere else in the submit/map argument list are flagged
+  too (they would be pickled as arguments).
+
+Names the rule cannot resolve (parameters, attributes) get the benefit
+of the doubt; the differential shard tests cover the dynamic rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import (
+    ModuleContext,
+    Rule,
+    call_name,
+    register,
+    top_level_functions,
+)
+
+POOL_TYPES = frozenset({"ProcessPoolExecutor"})
+SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+def _is_pool_constructor(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and call_name(node.func) in POOL_TYPES
+
+
+@register
+class PickleSafetyRule(Rule):
+    code = "RL004"
+    name = "shard-pickle-safety"
+    invariant = (
+        "everything crossing the ProcessPoolExecutor shard boundary is "
+        "picklable: module-level functions, no lambdas or closures"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in top_level_functions(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        pool_names: set[str] = set()
+        nested_defs: set[str] = set()
+        lambda_names: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if _is_pool_constructor(item.context_expr) and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        pool_names.add(item.optional_vars.id)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if _is_pool_constructor(node.value):
+                        pool_names.add(target.id)
+                    elif isinstance(node.value, ast.Lambda):
+                        lambda_names.add(target.id)
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not func
+            ):
+                nested_defs.add(node.name)
+        if not pool_names:
+            return
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in SUBMIT_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pool_names
+            ):
+                continue
+            target = node.args[0] if node.args else None
+            if isinstance(target, ast.Lambda):
+                yield ctx.finding(
+                    self,
+                    target,
+                    "lambda submitted to a process pool is not picklable; "
+                    "use a module-level function",
+                )
+            elif isinstance(target, ast.Name):
+                if target.id in nested_defs:
+                    yield ctx.finding(
+                        self,
+                        target,
+                        f"nested function '{target.id}' submitted to a "
+                        "process pool is not picklable; hoist it to module "
+                        "level",
+                    )
+                elif target.id in lambda_names:
+                    yield ctx.finding(
+                        self,
+                        target,
+                        f"'{target.id}' is bound to a lambda; process-pool "
+                        "callables must be module-level functions",
+                    )
+                # Module-level names and unresolvable bindings (parameters,
+                # attributes) get the benefit of the doubt; the dynamic
+                # shard tests cover them.
+            for extra in list(node.args[1:]) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(extra):
+                    if isinstance(sub, ast.Lambda):
+                        yield ctx.finding(
+                            self,
+                            sub,
+                            "lambda in a process-pool argument list would "
+                            "be pickled; pass data, not code",
+                        )
+
+
+__all__ = ["PickleSafetyRule"]

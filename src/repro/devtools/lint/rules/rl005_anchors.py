@@ -1,0 +1,104 @@
+"""RL005 — paper-anchor integrity of docstring citations.
+
+Docstrings across the codebase justify algorithmic choices by citing
+the paper — ``Definition 8``, ``Theorem 2``, the ``Lemma``. Those
+citations are load-bearing documentation: a reader follows them into
+``DESIGN.md``, which indexes every paper artifact the reproduction
+relies on. A citation that resolves to nothing (a typo'd number, an
+anchor dropped in a DESIGN.md rewrite) silently corrupts the paper
+trail, so every ``Definition N`` / ``Theorem N`` / ``Lemma [N]``
+mention in a module, class or function docstring must match an anchor
+present in DESIGN.md's text.
+
+Anchors are harvested by the engine from the nearest ``DESIGN.md``
+above the linted file (so the rule works from any checkout location);
+files with no DESIGN.md in scope are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import ModuleContext, Rule, register
+
+#: "Definition 8", "Theorems 2" (first number of a plural range), etc.
+CITATION_RE = re.compile(r"\b(Definition|Theorem|Lemma)s?\s+(\d+)")
+#: A bare "Lemma" (the paper has exactly one, cited unnumbered).
+BARE_LEMMA_RE = re.compile(r"\bLemma\b(?!\s*\d)")
+
+
+def extract_anchors(text: str) -> frozenset[str]:
+    """All paper anchors present in *text* (DESIGN.md's content)."""
+    anchors = {
+        f"{kind} {number}" for kind, number in CITATION_RE.findall(text)
+    }
+    if BARE_LEMMA_RE.search(text):
+        anchors.add("Lemma")
+    return frozenset(anchors)
+
+
+def _docstring_nodes(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.Constant]]:
+    """(owner name, docstring constant) for module, classes, functions."""
+    stack: list[tuple[str, ast.AST]] = [("module", tree)]
+    while stack:
+        name, node = stack.pop()
+        body = getattr(node, "body", [])
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            yield name, body[0].value
+        for child in body:
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                stack.append((child.name, child))
+
+
+@register
+class AnchorRule(Rule):
+    code = "RL005"
+    name = "paper-anchor-integrity"
+    invariant = (
+        "every Definition/Theorem/Lemma citation in a docstring resolves "
+        "to an anchor present in DESIGN.md"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        anchors = ctx.anchors
+        if anchors is None:
+            return
+        for owner, doc in _docstring_nodes(ctx.tree):
+            text = doc.value
+            cited: list[tuple[str, int]] = [
+                (f"{m.group(1)} {m.group(2)}", m.start())
+                for m in CITATION_RE.finditer(text)
+            ]
+            cited.extend(
+                ("Lemma", m.start()) for m in BARE_LEMMA_RE.finditer(text)
+            )
+            for anchor, offset in sorted(cited, key=lambda item: item[1]):
+                if anchor in anchors:
+                    continue
+                line = doc.lineno + text[:offset].count("\n")
+                yield Finding(
+                    rule=self.code,
+                    path=ctx.path,
+                    line=line,
+                    column=0,
+                    message=(
+                        f"docstring of '{owner}' cites '{anchor}' but "
+                        "DESIGN.md has no such anchor; fix the citation "
+                        "or add the anchor to DESIGN.md's index"
+                    ),
+                )
+
+
+__all__ = ["AnchorRule", "extract_anchors"]

@@ -1,0 +1,77 @@
+"""Suppression comments: ``# repro-lint: ignore[RULE]``.
+
+Two spellings are recognized (comma-separate multiple rule codes):
+
+``# repro-lint: ignore[RL001]``
+    Silences the listed rules on the comment's own line. When the
+    comment stands alone on its line, it also covers the next line, so
+    a suppression can sit above a long statement (most usefully above a
+    ``def`` whose line is already full).
+
+``# repro-lint: ignore-file[RL005]``
+    Silences the listed rules for the whole file. Reserved for files
+    that are *about* the suppressed pattern (fixtures, the linter's own
+    tests); production code should suppress per line so every waiver is
+    visible next to the code it waives.
+
+Suppressed findings are not discarded: they stay in the report marked
+``suppressed`` so the JSON artifact records every waiver.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*ignore-file\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _codes(group: str) -> set[str]:
+    return {code.strip().upper() for code in group.split(",") if code.strip()}
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rule codes are silenced on which lines of one file."""
+
+    per_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_wide:
+            return True
+        return rule in self.per_line.get(line, ())
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Build the suppression index of one file's source text."""
+    index = SuppressionIndex()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            file_match = _FILE_RE.search(token.string)
+            if file_match:
+                index.file_wide.update(_codes(file_match.group(1)))
+                continue
+            line_match = _LINE_RE.search(token.string)
+            if not line_match:
+                continue
+            codes = _codes(line_match.group(1))
+            line = token.start[0]
+            index.per_line.setdefault(line, set()).update(codes)
+            standalone = not token.line[: token.start[1]].strip()
+            if standalone:
+                index.per_line.setdefault(line + 1, set()).update(codes)
+    except (tokenize.TokenError, IndentationError):
+        # Unparsable files are reported by the engine as parse findings;
+        # there is nothing to suppress.
+        pass
+    return index
+
+
+__all__ = ["SuppressionIndex", "scan_suppressions"]

@@ -1,0 +1,60 @@
+"""Hash-seed independence of every serialized artifact (RL001's theorem).
+
+repro-lint's RL001 statically forbids unsorted set iteration on output
+paths; this test checks the property it protects *dynamically*: the same
+learn run, executed in fresh interpreters under different
+``PYTHONHASHSEED`` values, must produce byte-identical traces, model
+JSON, Markdown reports and CLI text. ``PYTHONHASHSEED`` only takes
+effect at interpreter startup, so each run is a subprocess.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SEEDS = ("0", "1", "4242")
+
+
+def run_learn(workdir: Path, hash_seed: str) -> dict[str, bytes]:
+    """Simulate + learn under one PYTHONHASHSEED; return artifact bytes."""
+    outdir = workdir / f"seed{hash_seed}"
+    outdir.mkdir()
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    trace = outdir / "trace.log"
+    model = outdir / "model.json"
+    report = outdir / "report.md"
+    common = [sys.executable, "-m", "repro.cli"]
+    subprocess.run(
+        [*common, "simulate", "simple", "--periods", "12", "--seed", "5",
+         "--out", str(trace)],
+        check=True, env=env, capture_output=True,
+    )
+    learn = subprocess.run(
+        [*common, "learn", str(trace), "--bound", "16",
+         "--model-json", str(model), "--report", str(report)],
+        check=True, env=env, capture_output=True,
+    )
+    return {
+        "trace": trace.read_bytes(),
+        "model": model.read_bytes(),
+        "report": report.read_bytes(),
+        # The CLI echoes the artifact paths, which differ per run dir.
+        "stdout": learn.stdout.replace(str(outdir).encode(), b"<outdir>"),
+    }
+
+
+def test_artifacts_identical_across_hash_seeds(tmp_path):
+    baseline = run_learn(tmp_path, SEEDS[0])
+    for seed in SEEDS[1:]:
+        other = run_learn(tmp_path, seed)
+        for name, payload in baseline.items():
+            assert other[name] == payload, (
+                f"{name} differs between PYTHONHASHSEED={SEEDS[0]} "
+                f"and PYTHONHASHSEED={seed}"
+            )
