@@ -196,3 +196,73 @@ def test_throughput_workers_sweep(benchmark, gm):
             "[throughput] speedup assertion skipped "
             f"(cpus={os.cpu_count()}, smoke={SMOKE})"
         )
+
+
+def test_throughput_chaos_recovery_overhead(benchmark, gm, monkeypatch):
+    """Fault-tolerant runtime: what a recovered failure costs.
+
+    Runs the same shard-parallel learn fault-free and with REPRO_CHAOS
+    injecting two transient failures on shard 1, and records the
+    wall-clock overhead of the retries. The models must be
+    bit-identical — recovery is pure overhead, never a different
+    answer — and the counters must report exactly the injected plan.
+    """
+    from repro.bench.harness import measure
+    from repro.bench.reporting import format_table
+    from repro.core.learner import learn_dependencies
+    from repro.core.shardexec import ShardPolicy
+
+    from conftest import SMOKE
+
+    bound = 16
+    trace = gm.trace.subtrace(8) if SMOKE else gm.trace
+    policy = ShardPolicy(retries=2, backoff=0.01, backoff_cap=0.05)
+
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    clean = measure(
+        "fault-free",
+        lambda: learn_dependencies(
+            trace, bound=bound, workers=2, shard_policy=policy
+        ),
+    )
+    monkeypatch.setenv("REPRO_CHAOS", "fail@1:2")
+    chaos = measure(
+        "fail@1:2",
+        lambda: learn_dependencies(
+            trace, bound=bound, workers=2, shard_policy=policy
+        ),
+    )
+    monkeypatch.delenv("REPRO_CHAOS")
+    benchmark.pedantic(
+        learn_dependencies,
+        args=(trace,),
+        kwargs={"bound": bound, "workers": 2, "shard_policy": policy},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert chaos.value.lub() == clean.value.lub(), (
+        "recovery changed the learned model"
+    )
+    counters = chaos.value.hot_loop
+    assert counters.shard_failures == 2
+    assert counters.shard_retries == 2
+    assert counters.shard_splits == 0
+    assert counters.degraded_shards == 0
+    print()
+    print(
+        format_table(
+            ["run", "seconds", "retries", "overhead"],
+            [
+                ["fault-free", clean.seconds, 0, ""],
+                [
+                    "fail@1:2",
+                    chaos.seconds,
+                    counters.shard_retries,
+                    f"{chaos.seconds - clean.seconds:+.3f}s",
+                ],
+            ],
+            title="[throughput] chaos recovery overhead "
+            f"(bound={bound}, {len(trace)} periods, workers=2)",
+        )
+    )

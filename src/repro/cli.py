@@ -93,6 +93,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard-parallel learning processes (requires "
                        "--bound; the merged model is sound but may be less "
                        "specific than a sequential run)")
+    learn.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per shard; an expired shard "
+                       "is retried on a rebuilt pool (default: no timeout)")
+    learn.add_argument("--shard-retries", type=int, default=2,
+                       help="attempts per shard beyond the first before the "
+                       "runtime bisects it into smaller shards (default: 2)")
+    learn.add_argument("--degrade", choices=("sequential", "fail"),
+                       default="sequential",
+                       help="when a shard or the process pool is beyond "
+                       "recovery: 'sequential' finishes the learn in-process "
+                       "(default), 'fail' raises an error naming the shard's "
+                       "period range and attempt count")
     learn.add_argument("--dot", help="write the dependency graph as DOT")
     learn.add_argument("--graphml", help="write the graph as GraphML")
     learn.add_argument("--model-json", help="write the model as JSON")
@@ -194,12 +207,25 @@ def _cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def _cmd_learn(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.core.shardexec import ShardPolicy
+
+    policy = None
+    if args.workers > 1:
+        try:
+            policy = ShardPolicy(
+                timeout=args.shard_timeout,
+                retries=args.shard_retries,
+                degrade=args.degrade,
+            )
+        except ValueError as error:
+            raise ReproError(str(error)) from error
     run = run_pipeline(PipelineConfig(
         source=args.trace,
         format=args.format,
         bound=args.bound,
         tolerance=args.tolerance,
         workers=args.workers,
+        shard_policy=policy,
         dot=args.dot,
         graphml=args.graphml,
         model_json=args.model_json,

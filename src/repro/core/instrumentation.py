@@ -74,6 +74,25 @@ class HotLoopCounters:
     stats_seconds / refresh_seconds / process_seconds / post_seconds:
         Wall-clock per phase: statistics update, weight refresh, message
         processing, and end-of-period post-processing.
+    shard_failures:
+        Worker-raised exceptions observed by the shard runtime
+        (:mod:`repro.core.shardexec`); excludes pool breakage, which
+        cannot be attributed to one shard.
+    shard_timeouts:
+        Shards whose wall-clock deadline (``ShardPolicy.timeout``)
+        expired before the worker returned.
+    shard_retries:
+        Resubmissions charged to a shard's *own* failure or timeout.
+    shard_splits:
+        Bisections of a repeatedly-failing shard into two period ranges.
+    pool_rebuilds:
+        Process-pool teardowns followed by a rebuild (after breakage or
+        a timeout — a hung worker can only be removed by teardown).
+    pool_requeues:
+        In-flight shards requeued because the pool went away underneath
+        them (collateral, not charged as retries).
+    degraded_shards:
+        Shards learned by the in-process sequential fallback.
     """
 
     periods: int = 0
@@ -90,6 +109,13 @@ class HotLoopCounters:
     refresh_seconds: float = 0.0
     process_seconds: float = 0.0
     post_seconds: float = 0.0
+    shard_failures: int = 0
+    shard_timeouts: int = 0
+    shard_retries: int = 0
+    shard_splits: int = 0
+    pool_rebuilds: int = 0
+    pool_requeues: int = 0
+    degraded_shards: int = 0
 
     def observe_candidates(self, size: int) -> None:
         """Record one message's candidate-set size ``|A_m|``."""
@@ -153,4 +179,11 @@ class HotLoopCounters:
             ("weight refresh (s)", self.refresh_seconds),
             ("message processing (s)", self.process_seconds),
             ("post-processing (s)", self.post_seconds),
+            ("shard failures", self.shard_failures),
+            ("shard timeouts", self.shard_timeouts),
+            ("shard retries", self.shard_retries),
+            ("shard splits", self.shard_splits),
+            ("pool rebuilds", self.pool_rebuilds),
+            ("pool requeues (collateral)", self.pool_requeues),
+            ("degraded shards (in-process)", self.degraded_shards),
         ]

@@ -19,6 +19,7 @@ from repro.core.exact import ExactLearner, learn_exact
 from repro.core.heuristic import BoundedLearner, learn_bounded
 from repro.core.result import LearningResult
 from repro.core.sharded import learn_bounded_sharded, require_shardable
+from repro.core.shardexec import ShardPolicy
 from repro.trace.trace import Trace
 
 
@@ -28,6 +29,7 @@ def learn_dependencies(
     tolerance: float = 0.0,
     max_hypotheses: int = 2_000_000,
     workers: int = 1,
+    shard_policy: ShardPolicy | None = None,
 ) -> LearningResult:
     """Learn the most-specific dependency hypotheses from *trace*.
 
@@ -50,6 +52,11 @@ def learn_dependencies(
         shard outputs merged by LUB (:mod:`repro.core.sharded`). Sound by
         Theorem 2, but the merged model may be *less specific* than the
         sequential LUB.
+    shard_policy:
+        Fault-tolerance policy for the sharded path (timeouts, retries,
+        shard splitting, degradation to sequential learning); ``None``
+        uses :class:`~repro.core.shardexec.ShardPolicy`'s defaults.
+        Ignored when ``workers=1``.
 
     Returns
     -------
@@ -60,7 +67,9 @@ def learn_dependencies(
     if bound is None:
         return learn_exact(trace, tolerance, max_hypotheses)
     if workers > 1:
-        return learn_bounded_sharded(trace, bound, tolerance, workers)
+        return learn_bounded_sharded(
+            trace, bound, tolerance, workers, policy=shard_policy
+        )
     return learn_bounded(trace, bound, tolerance)
 
 

@@ -34,12 +34,21 @@ Workers are OS processes (:class:`concurrent.futures.ProcessPoolExecutor`)
 because the hot loop is pure Python and the GIL would serialize threads.
 Shards are contiguous period ranges so streamed traces shard by reading
 position.
+
+Execution is delegated to the fault-tolerant runtime in
+:mod:`repro.core.shardexec`: per-shard timeouts, bounded retries with
+deterministic backoff, automatic bisection of repeatedly-failing shards,
+executor rebuilds after ``BrokenProcessPool``, and graceful degradation
+to in-process sequential learning — all behind one
+:class:`~repro.core.shardexec.ShardPolicy` value. The LUB merge is a
+commutative, associative fold, so none of that machinery can change the
+answer for a fixed shard partition (and a bisected partition can only
+generalize, never lose soundness).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -48,6 +57,7 @@ from repro.core.hypothesis import Hypothesis
 from repro.core.instrumentation import HotLoopCounters, hot_loop
 from repro.core.interning import TaskTable
 from repro.core.result import LearningResult
+from repro.core.shardexec import ShardPolicy, ShardRuntime, apply_chaos
 from repro.core.stats import CoExecutionStats
 from repro.errors import LearningError
 from repro.trace.period import Period
@@ -130,8 +140,29 @@ def learn_shard(
 
 
 def _learn_shard_args(args: tuple) -> ShardOutcome:
-    # ProcessPoolExecutor.map wants a single-argument callable.
-    return learn_shard(*args)
+    """Worker entry point: one argument tuple, executed in a pool process.
+
+    The tuple is ``(tasks, periods, bound, tolerance, shard_index,
+    attempt)``; the trailing pair keys the deterministic ``REPRO_CHAOS``
+    fault injection (crash / hang / slow / fail by shard index and
+    attempt — see :func:`repro.core.shardexec.parse_chaos`), which is
+    how the chaos suite exercises every recovery path of the runtime
+    without real OOMs. With ``REPRO_CHAOS`` unset this is a no-op.
+    """
+    tasks, periods, bound, tolerance, index, attempt = args
+    apply_chaos(index, attempt)
+    return learn_shard(tasks, periods, bound, tolerance)
+
+
+def _learn_shard_fallback(args: tuple) -> ShardOutcome:
+    """In-process fallback for degraded shards: same learn, no pool.
+
+    Deliberately skips :func:`~repro.core.shardexec.apply_chaos` — the
+    degraded path exists to complete the learn when workers cannot, so
+    injected worker faults must not follow the shard in-process.
+    """
+    tasks, periods, bound, tolerance = args
+    return learn_shard(tasks, periods, bound, tolerance)
 
 
 # Boundary code: decodes the merged LUB mask back to string pairs.
@@ -182,6 +213,7 @@ def learn_bounded_sharded(
     bound: int,
     tolerance: float = 0.0,
     workers: int = 2,
+    policy: ShardPolicy | None = None,
 ) -> LearningResult:
     """Learn *trace* across *workers* period shards and LUB-merge.
 
@@ -192,13 +224,26 @@ def learn_bounded_sharded(
     :func:`~repro.core.learner.learn_dependencies`, which routes
     ``workers=1`` to :func:`~repro.core.heuristic.learn_bounded` without
     touching a process pool.
+
+    *policy* configures the fault-tolerant runtime (timeouts, retries,
+    splitting, degradation — see
+    :class:`~repro.core.shardexec.ShardPolicy`); the default tolerates a
+    couple of worker failures and degrades to in-process sequential
+    learning rather than fail. Failures never surface as a bare
+    ``BrokenProcessPool``: a terminal shard failure raises
+    :class:`~repro.errors.ShardExecutionError` naming the shard's period
+    range and attempt count. The runtime's recovery counters
+    (retries, splits, pool rebuilds, degraded shards) are folded into
+    the returned result's ``hot_loop`` counters.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if bound < 1:
         raise ValueError(f"bound must be >= 1, got {bound}")
+    policy = policy if policy is not None else ShardPolicy()
     started = time.perf_counter()
     shards = split_periods(trace.periods, workers)
+    runtime = None
     if len(shards) <= 1:
         # One shard (or an empty trace): the pool would only add overhead.
         outcomes = [
@@ -206,16 +251,26 @@ def learn_bounded_sharded(
             for shard in shards
         ]
     else:
-        jobs = [(trace.tasks, shard, bound, tolerance) for shard in shards]
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            outcomes = list(pool.map(_learn_shard_args, jobs))
-    return merge_outcomes(
+        runtime = ShardRuntime(
+            trace.tasks,
+            bound,
+            tolerance,
+            workers=len(shards),
+            policy=policy,
+            worker=_learn_shard_args,
+            fallback=_learn_shard_fallback,
+        )
+        outcomes = runtime.run(shards)
+    result = merge_outcomes(
         trace.tasks,
         outcomes,
         bound,
         workers,
         time.perf_counter() - started,
     )
+    if runtime is not None and result.hot_loop is not None:
+        result.hot_loop.merge(runtime.counters)
+    return result
 
 
 def require_shardable(bound: int | None, workers: int) -> None:

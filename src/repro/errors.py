@@ -51,6 +51,18 @@ class LearningError(ReproError):
     """The learning algorithm cannot continue."""
 
 
+class ShardExecutionError(LearningError):
+    """A shard of a parallel learn failed beyond the recovery policy.
+
+    Raised by the fault-tolerant shard runtime
+    (:mod:`repro.core.shardexec`) when a shard exhausts its retry and
+    split budgets — or the process pool is irrecoverably broken — and
+    the policy forbids degrading to in-process sequential learning
+    (``degrade='fail'``). The message always names the failing shard's
+    period range and attempt count, never a bare ``BrokenProcessPool``.
+    """
+
+
 class EmptyHypothesisSpaceError(LearningError):
     """Every hypothesis died: the trace is inconsistent with the MOC.
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.shardexec import ShardPolicy
+
 
 @dataclass
 class PipelineConfig:
@@ -38,6 +40,14 @@ class PipelineConfig:
     workers:
         Shard-parallel learning fan-out; requires a bound when > 1
         (see :mod:`repro.core.sharded`).
+    shard_policy:
+        Fault-tolerance policy for shard-parallel learning — per-shard
+        timeout, retry/split budgets, and the degradation mode when the
+        process pool is irrecoverable (see
+        :class:`~repro.core.shardexec.ShardPolicy`). ``None`` uses the
+        defaults; ignored when ``workers`` is 1. The CLI's
+        ``--shard-timeout`` / ``--shard-retries`` / ``--degrade`` flags
+        map onto this field.
     max_hypotheses:
         Safety cap for the exact algorithm.
     analyze_modes / analyze_curve:
@@ -66,6 +76,7 @@ class PipelineConfig:
     learn: bool = True
     bound: int | None = None
     workers: int = 1
+    shard_policy: ShardPolicy | None = None
     max_hypotheses: int = 2_000_000
     analyze_modes: bool = False
     analyze_curve: bool = False

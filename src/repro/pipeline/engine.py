@@ -128,6 +128,15 @@ class PipelineRun:
                 "merge_count": getattr(result, "merge_count", None),
                 "elapsed_seconds": getattr(result, "elapsed_seconds", None),
             }
+            policy = self.config.shard_policy
+            if policy is not None:
+                data["learn"]["shard_policy"] = {
+                    "timeout": policy.timeout,
+                    "retries": policy.retries,
+                    "max_splits": policy.max_splits,
+                    "max_pool_rebuilds": policy.max_pool_rebuilds,
+                    "degrade": policy.degrade,
+                }
             hot = getattr(result, "hot_loop", None)
             if hot is not None:
                 data["hot_loop"] = hot.as_dict()
@@ -222,6 +231,7 @@ class LearnPipeline:
             tolerance=config.tolerance,
             max_hypotheses=config.max_hypotheses,
             workers=config.workers,
+            shard_policy=config.shard_policy,
         )
         run.model = run.result.lub()
 

@@ -10,13 +10,30 @@ effect at interpreter startup, so each run is a subprocess.
 
 from __future__ import annotations
 
+import json
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SEEDS = ("0", "1", "4242")
+
+#: Both shards of a 2-worker run crash on every attempt, so the process
+#: pool breaks past its rebuild budget and the runtime degrades to
+#: in-process sequential learning. Shard indices are deterministic, so
+#: the plan forces the same recovery path in every interpreter.
+DEGRADE_CHAOS = "crash@0:99,crash@1:99"
+
+#: ``0.123 s`` wall-clock figures in the report and CLI summary. Timing
+#: varies with machine load, not with the hash seed, so it is masked
+#: before the byte comparison.
+ELAPSED = re.compile(rb"\d+\.\d{3} s")
+
+
+def mask_elapsed(payload: bytes) -> bytes:
+    return ELAPSED.sub(b"<elapsed> s", payload)
 
 
 def run_learn(workdir: Path, hash_seed: str) -> dict[str, bytes]:
@@ -43,9 +60,55 @@ def run_learn(workdir: Path, hash_seed: str) -> dict[str, bytes]:
     return {
         "trace": trace.read_bytes(),
         "model": model.read_bytes(),
-        "report": report.read_bytes(),
+        "report": mask_elapsed(report.read_bytes()),
         # The CLI echoes the artifact paths, which differ per run dir.
-        "stdout": learn.stdout.replace(str(outdir).encode(), b"<outdir>"),
+        "stdout": mask_elapsed(
+            learn.stdout.replace(str(outdir).encode(), b"<outdir>")
+        ),
+    }
+
+
+def run_learn_degraded(workdir: Path, hash_seed: str) -> dict[str, object]:
+    """Simulate + learn under chaos that forces sequential degradation.
+
+    Returns the trace and model bytes plus the recovery counters from
+    the profile JSON. The Markdown report and CLI summary are excluded
+    on purpose: they embed wall-clock seconds, which vary between
+    subprocess runs independently of the hash seed.
+    """
+    outdir = workdir / f"degraded-seed{hash_seed}"
+    outdir.mkdir()
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    common = [sys.executable, "-m", "repro.cli"]
+    trace = outdir / "trace.log"
+    model = outdir / "model.json"
+    profile = outdir / "profile.json"
+    subprocess.run(
+        [*common, "simulate", "simple", "--periods", "12", "--seed", "5",
+         "--out", str(trace)],
+        check=True, env=env, capture_output=True,
+    )
+    env[  # only the learn subprocess sees the fault plan
+        "REPRO_CHAOS"
+    ] = DEGRADE_CHAOS
+    subprocess.run(
+        [*common, "learn", str(trace), "--bound", "16", "--workers", "2",
+         "--quiet", "--model-json", str(model),
+         "--profile-json", str(profile)],
+        check=True, env=env, capture_output=True,
+    )
+    counters = json.loads(profile.read_text())["hot_loop"]
+    return {
+        "trace": trace.read_bytes(),
+        "model": model.read_bytes(),
+        "recovery": {
+            key: counters[key]
+            for key in ("shard_failures", "shard_timeouts", "shard_retries",
+                        "shard_splits", "pool_rebuilds", "pool_requeues",
+                        "degraded_shards")
+        },
     }
 
 
@@ -53,6 +116,22 @@ def test_artifacts_identical_across_hash_seeds(tmp_path):
     baseline = run_learn(tmp_path, SEEDS[0])
     for seed in SEEDS[1:]:
         other = run_learn(tmp_path, seed)
+        for name, payload in baseline.items():
+            assert other[name] == payload, (
+                f"{name} differs between PYTHONHASHSEED={SEEDS[0]} "
+                f"and PYTHONHASHSEED={seed}"
+            )
+
+
+def test_degraded_run_artifacts_identical_across_hash_seeds(tmp_path):
+    """A chaos run that degrades to in-process learning is still
+    hash-seed deterministic: same model bytes, same recovery counters."""
+    baseline = run_learn_degraded(tmp_path, SEEDS[0])
+    assert baseline["recovery"]["degraded_shards"] > 0, (
+        "chaos plan was expected to force sequential degradation"
+    )
+    for seed in SEEDS[1:]:
+        other = run_learn_degraded(tmp_path, seed)
         for name, payload in baseline.items():
             assert other[name] == payload, (
                 f"{name} differs between PYTHONHASHSEED={SEEDS[0]} "

@@ -359,6 +359,74 @@ class TestRL004PickleSafety:
         )
         assert active(findings, "RL004") == []
 
+    def test_annotated_pool_parameter_resolved(self):
+        """The runtime's resubmission helpers receive their pool as an
+        annotated parameter; lambdas crossing that boundary are flagged."""
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def resubmit(pool: ProcessPoolExecutor, job):
+                return pool.submit(lambda j: j, job)
+            """,
+        )
+        assert len(active(findings, "RL004")) == 1
+
+    def test_pool_factory_return_annotation_resolved(self):
+        """The retry-resubmission path: a shard is resubmitted onto a
+        pool rebuilt by a factory. The factory's return annotation is
+        what ties the local name to a process pool."""
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def rebuild() -> ProcessPoolExecutor | None:
+                return ProcessPoolExecutor()
+
+            def retry(job):
+                pool = rebuild()
+                return pool.submit(lambda j: j, job)
+            """,
+        )
+        assert len(active(findings, "RL004")) == 1
+
+    def test_retry_resubmission_with_module_worker_clean(self):
+        """The clean shape of the retry path — module-level worker,
+        plain data arguments — is not flagged."""
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(args):
+                return args
+
+            def rebuild() -> "ProcessPoolExecutor":
+                return ProcessPoolExecutor()
+
+            def retry(jobs):
+                pool = rebuild()
+                inflight = {}
+                while jobs:
+                    job = jobs.pop()
+                    inflight[pool.submit(work, job)] = job
+                return inflight
+            """,
+        )
+        assert active(findings, "RL004") == []
+
+    def test_attribute_bound_pool_resolved(self):
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Runtime:
+                def start(self, jobs):
+                    self._pool = ProcessPoolExecutor()
+                    return [self._pool.submit(lambda j: j, j) for j in jobs]
+            """,
+        )
+        assert len(active(findings, "RL004")) == 1
+
     def test_thread_pool_not_checked(self):
         findings = lint(
             """
