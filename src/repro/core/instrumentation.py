@@ -93,6 +93,16 @@ class HotLoopCounters:
         them (collateral, not charged as retries).
     degraded_shards:
         Shards learned by the in-process sequential fallback.
+    batch_messages:
+        Messages whose child generation ran through the batch kernel's
+        vectorized pool × candidate step (:mod:`repro.core.batch`).
+    batch_children:
+        Child hypotheses produced in bulk by those steps (feasible
+        cells of the generation matrix).
+    batch_relayouts:
+        Compact mask-column layout growths — mid-period re-encodes of
+        the in-flight pool after the interned pair set crossed a word
+        boundary.
     """
 
     periods: int = 0
@@ -116,6 +126,9 @@ class HotLoopCounters:
     pool_rebuilds: int = 0
     pool_requeues: int = 0
     degraded_shards: int = 0
+    batch_messages: int = 0
+    batch_children: int = 0
+    batch_relayouts: int = 0
 
     def observe_candidates(self, size: int) -> None:
         """Record one message's candidate-set size ``|A_m|``."""
@@ -186,4 +199,7 @@ class HotLoopCounters:
             ("pool rebuilds", self.pool_rebuilds),
             ("pool requeues (collateral)", self.pool_requeues),
             ("degraded shards (in-process)", self.degraded_shards),
+            ("batch-kernel messages", self.batch_messages),
+            ("batch-kernel children (bulk)", self.batch_children),
+            ("batch-kernel mask relayouts", self.batch_relayouts),
         ]

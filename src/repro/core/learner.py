@@ -15,6 +15,13 @@ trace and optionally a hypothesis bound, get back a
 
 from __future__ import annotations
 
+from repro.core.batch import (
+    BatchBoundedLearner,
+    BatchExactLearner,
+    learn_bounded_batch,
+    learn_exact_batch,
+    resolve_kernel,
+)
 from repro.core.exact import ExactLearner, learn_exact
 from repro.core.heuristic import BoundedLearner, learn_bounded
 from repro.core.result import LearningResult
@@ -30,6 +37,7 @@ def learn_dependencies(
     max_hypotheses: int = 2_000_000,
     workers: int = 1,
     shard_policy: ShardPolicy | None = None,
+    kernel: str = "auto",
 ) -> LearningResult:
     """Learn the most-specific dependency hypotheses from *trace*.
 
@@ -57,6 +65,12 @@ def learn_dependencies(
         shard splitting, degradation to sequential learning); ``None``
         uses :class:`~repro.core.shardexec.ShardPolicy`'s defaults.
         Ignored when ``workers=1``.
+    kernel:
+        Mask-kernel backend: ``"loop"`` (per-hypothesis hot loop),
+        ``"batch"`` (vectorized array-of-masks backend,
+        :mod:`repro.core.batch`), or ``"auto"`` (the default — batch
+        when numpy is importable). The backends learn bit-for-bit
+        identical models; the choice is purely a throughput knob.
 
     Returns
     -------
@@ -64,12 +78,18 @@ def learn_dependencies(
         Surviving hypotheses, their LUB, and run metadata.
     """
     require_shardable(bound, workers)
+    resolved = resolve_kernel(kernel)
     if bound is None:
+        if resolved == "batch":
+            return learn_exact_batch(trace, tolerance, max_hypotheses)
         return learn_exact(trace, tolerance, max_hypotheses)
     if workers > 1:
         return learn_bounded_sharded(
-            trace, bound, tolerance, workers, policy=shard_policy
+            trace, bound, tolerance, workers, policy=shard_policy,
+            kernel=resolved,
         )
+    if resolved == "batch":
+        return learn_bounded_batch(trace, bound, tolerance)
     return learn_bounded(trace, bound, tolerance)
 
 
@@ -77,10 +97,16 @@ def make_learner(
     tasks,
     bound: int | None = None,
     tolerance: float = 0.0,
+    kernel: str = "auto",
 ) -> ExactLearner | BoundedLearner:
     """An incremental learner for online use (feed periods as they arrive)."""
+    resolved = resolve_kernel(kernel)
     if bound is None:
+        if resolved == "batch":
+            return BatchExactLearner(tasks, tolerance)
         return ExactLearner(tasks, tolerance)
+    if resolved == "batch":
+        return BatchBoundedLearner(tasks, bound, tolerance)
     return BoundedLearner(tasks, bound, tolerance)
 
 
@@ -90,7 +116,12 @@ __all__ = [
     "LearningResult",
     "ExactLearner",
     "BoundedLearner",
+    "BatchExactLearner",
+    "BatchBoundedLearner",
     "learn_exact",
     "learn_bounded",
+    "learn_exact_batch",
+    "learn_bounded_batch",
     "learn_bounded_sharded",
+    "resolve_kernel",
 ]

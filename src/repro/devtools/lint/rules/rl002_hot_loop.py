@@ -7,7 +7,7 @@ formatting. That property is marked in source with the
 and enforced here in two parts:
 
 **Coverage** — in the kernel modules (``repro.core.interning``,
-``heuristic``, ``exact``, ``sharded``) every module-level function or
+``heuristic``, ``exact``, ``sharded``, ``batch``) every module-level function or
 method that contains a ``for``/``while`` statement (including in nested
 defs) must either carry ``@hot_loop`` or a per-line suppression; the
 suppression is the explicit record that a loop is boundary code
@@ -46,6 +46,7 @@ KERNEL_MODULES = frozenset(
         "repro.core.heuristic",
         "repro.core.exact",
         "repro.core.sharded",
+        "repro.core.batch",
     }
 )
 

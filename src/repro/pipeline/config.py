@@ -50,6 +50,12 @@ class PipelineConfig:
         map onto this field.
     max_hypotheses:
         Safety cap for the exact algorithm.
+    kernel:
+        Mask-kernel backend for the learn stage: ``"loop"``, ``"batch"``,
+        or ``"auto"`` (the default — batch when numpy is importable; see
+        :func:`repro.core.batch.resolve_kernel`). The backends learn
+        bit-for-bit identical models. The CLI's ``--kernel`` flag maps
+        onto this field.
     analyze_modes / analyze_curve:
         Run the analysis stage's mode extraction / learning-curve parts.
     curve_bound:
@@ -78,6 +84,7 @@ class PipelineConfig:
     workers: int = 1
     shard_policy: ShardPolicy | None = None
     max_hypotheses: int = 2_000_000
+    kernel: str = "auto"
     analyze_modes: bool = False
     analyze_curve: bool = False
     curve_bound: int = 16

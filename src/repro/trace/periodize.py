@@ -25,9 +25,12 @@ from repro.trace.events import Event
 from repro.trace.trace import Trace
 
 
-def _sorted_times(events: Sequence[Event]) -> np.ndarray:
+def _sorted_times(events: Sequence[Event], method: str) -> np.ndarray:
     if len(events) < 4:
-        raise TraceError("too few events to infer a period")
+        raise TraceError(
+            f"too few events to infer a period by {method}: "
+            f"got {len(events)}, need at least 4"
+        )
     return np.array(sorted(event.time for event in events))
 
 
@@ -41,15 +44,15 @@ def infer_period_by_gaps(
     starts. Raises :class:`~repro.errors.TraceError` when no such
     structure exists (densely packed streams — use autocorrelation).
     """
-    times = _sorted_times(events)
+    times = _sorted_times(events, "gaps")
     gaps = np.diff(times)
     positive = gaps[gaps > 0]
     if positive.size == 0:
         raise TraceError("all events are simultaneous")
     threshold = float(np.median(positive)) * gap_factor
     burst_starts = [times[0]]
-    for previous, current, gap in zip(times, times[1:], gaps):
-        if gap > threshold:
+    for current, gap in zip(times[1:], gaps):
+        if gap >= threshold:
             burst_starts.append(current)
     if len(burst_starts) < 2:
         raise TraceError(
@@ -68,8 +71,14 @@ def infer_period_by_autocorrelation(
 
     The stream is binned into an event-count signal; the lag with the
     highest autocorrelation (beyond ``min_period_bins``) is the period.
+
+    The histogram tiles the stream's span exactly, so the effective bin
+    width is ``span / ceil(span / bin_width)`` — the nearest width no
+    larger than the requested *bin_width* that divides the span evenly
+    (equal to *bin_width* whenever the span is an exact multiple of it).
+    The returned period is expressed in that effective width.
     """
-    times = _sorted_times(events)
+    times = _sorted_times(events, "autocorrelation")
     span = float(times[-1] - times[0])
     if span <= 0:
         raise TraceError("all events are simultaneous")
@@ -77,7 +86,7 @@ def infer_period_by_autocorrelation(
         # Aim for ~40 bins per suspected period; with nothing known,
         # target ~1000 bins across the stream.
         bin_width = span / 1000.0
-    bin_count = int(np.ceil(span / bin_width)) + 1
+    bin_count = max(1, int(np.ceil(span / bin_width)))
     signal, _edges = np.histogram(
         times, bins=bin_count, range=(float(times[0]), float(times[-1]))
     )

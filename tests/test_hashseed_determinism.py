@@ -36,9 +36,11 @@ def mask_elapsed(payload: bytes) -> bytes:
     return ELAPSED.sub(b"<elapsed> s", payload)
 
 
-def run_learn(workdir: Path, hash_seed: str) -> dict[str, bytes]:
+def run_learn(
+    workdir: Path, hash_seed: str, kernel: str = "auto"
+) -> dict[str, bytes]:
     """Simulate + learn under one PYTHONHASHSEED; return artifact bytes."""
-    outdir = workdir / f"seed{hash_seed}"
+    outdir = workdir / f"seed{hash_seed}-{kernel}"
     outdir.mkdir()
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
@@ -53,7 +55,7 @@ def run_learn(workdir: Path, hash_seed: str) -> dict[str, bytes]:
         check=True, env=env, capture_output=True,
     )
     learn = subprocess.run(
-        [*common, "learn", str(trace), "--bound", "16",
+        [*common, "learn", str(trace), "--bound", "16", "--kernel", kernel,
          "--model-json", str(model), "--report", str(report)],
         check=True, env=env, capture_output=True,
     )
@@ -121,6 +123,24 @@ def test_artifacts_identical_across_hash_seeds(tmp_path):
                 f"{name} differs between PYTHONHASHSEED={SEEDS[0]} "
                 f"and PYTHONHASHSEED={seed}"
             )
+
+
+def test_kernels_identical_across_hash_seeds(tmp_path):
+    """Loop and batch kernels write byte-identical artifacts, and each
+    kernel is itself hash-seed independent: every (seed, kernel) cell of
+    the grid must match the loop-kernel baseline byte for byte."""
+    baseline = run_learn(tmp_path, SEEDS[0], kernel="loop")
+    for seed in SEEDS[:2]:
+        for kernel in ("loop", "batch"):
+            if seed == SEEDS[0] and kernel == "loop":
+                continue
+            other = run_learn(tmp_path, seed, kernel=kernel)
+            for name, payload in baseline.items():
+                assert other[name] == payload, (
+                    f"{name} differs between kernel=loop/"
+                    f"PYTHONHASHSEED={SEEDS[0]} and kernel={kernel}/"
+                    f"PYTHONHASHSEED={seed}"
+                )
 
 
 def test_degraded_run_artifacts_identical_across_hash_seeds(tmp_path):

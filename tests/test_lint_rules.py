@@ -222,6 +222,20 @@ class TestRL002HotLoopPurity:
         )
         assert active(findings, "RL002") == []
 
+    def test_batch_module_is_a_kernel_module(self):
+        findings = lint(
+            """
+            def fold(columns):
+                out = 0
+                for column in columns:
+                    out |= column
+                return out
+            """,
+            module="repro.core.batch",
+        )
+        assert len(active(findings, "RL002")) == 1
+        assert "not marked @hot_loop" in active(findings, "RL002")[0].message
+
 
 class TestRL003Boundary:
     OUTSIDE = "repro.analysis.modes"
@@ -273,6 +287,41 @@ class TestRL003Boundary:
             """
             def pairs(result):
                 return sorted(result.model.nonparallel_pairs())
+            """,
+            module=self.OUTSIDE,
+        )
+        assert active(findings, "RL003") == []
+
+    def test_batch_bulk_op_flagged_outside_core(self):
+        findings = lint(
+            """
+            def widths(masks):
+                return pack_masks(masks, 2)
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL003")) == 1
+        assert "batch-kernel" in active(findings, "RL003")[0].message
+
+    def test_batch_bulk_op_allowed_inside_core(self):
+        findings = lint(
+            """
+            from repro.core.batch import pack_masks
+
+            def widths(masks):
+                return pack_masks(masks, 2)
+            """,
+            module="repro.core.heuristic",
+        )
+        assert active(findings, "RL003") == []
+
+    def test_kernel_registry_string_is_clean(self):
+        findings = lint(
+            """
+            def learn(trace):
+                from repro.core.learner import learn_dependencies
+
+                return learn_dependencies(trace, bound=16, kernel="batch")
             """,
             module=self.OUTSIDE,
         )

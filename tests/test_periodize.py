@@ -5,6 +5,7 @@ import pytest
 from repro.errors import TraceError
 from repro.sim.simulator import Simulator, SimulatorConfig
 from repro.systems.examples import simple_four_task_design
+from repro.trace.events import task_end, task_start
 from repro.trace.periodize import (
     infer_period_by_autocorrelation,
     infer_period_by_gaps,
@@ -12,6 +13,24 @@ from repro.trace.periodize import (
 )
 
 PERIOD = 50.0
+
+
+def _burst_stream(starts, events_per_burst=4, spacing=1.0):
+    """Bursts of closely spaced events at the given start times."""
+    events = []
+    for start in starts:
+        for i in range(events_per_burst):
+            events.append(task_start(start + i * spacing, "a"))
+    return events
+
+
+def _simultaneous_stream(count, time=1.0):
+    events = []
+    for i in range(count):
+        task = f"t{i}"
+        events.append(task_start(time, task))
+        events.append(task_end(time, task))
+    return events
 
 
 @pytest.fixture(scope="module")
@@ -29,14 +48,10 @@ class TestGapInference:
         assert inferred == pytest.approx(PERIOD, rel=0.05)
 
     def test_too_few_events(self):
-        from repro.trace.events import task_start
-
         with pytest.raises(TraceError, match="too few"):
             infer_period_by_gaps([task_start(0.0, "a")])
 
     def test_simultaneous_events(self):
-        from repro.trace.events import task_end, task_start
-
         events = [
             task_start(1.0, "a"),
             task_end(1.0, "a"),
@@ -46,11 +61,57 @@ class TestGapInference:
         with pytest.raises(TraceError, match="simultaneous"):
             infer_period_by_gaps(events)
 
+    def test_gap_exactly_at_threshold_starts_burst(self):
+        # Bursts of 4 events spaced 1.0 apart, separated by a gap of
+        # exactly gap_factor * median(gap) = 3.0. The docstring promises
+        # gaps "at least" the threshold split bursts, so the period must
+        # be inferred, not rejected as gap-free.
+        events = _burst_stream([0.0, 6.0, 12.0, 18.0])
+        inferred = infer_period_by_gaps(events, gap_factor=3.0)
+        assert inferred == pytest.approx(6.0)
+
 
 class TestAutocorrelation:
     def test_recovers_simulated_period(self, stream):
         inferred = infer_period_by_autocorrelation(stream)
         assert inferred == pytest.approx(PERIOD, rel=0.1)
+
+    def test_explicit_bin_width_is_honored(self):
+        # Bursts every 10.0 over a span of 100.0 with bin_width=1.0: the
+        # span is an exact multiple of the requested width, so the
+        # effective width equals the requested one and the period comes
+        # out exact. The old `ceil(span/bin_width) + 1` bin count shrank
+        # the bins to 100/101 and reported 9.90099... instead.
+        events = _burst_stream(
+            [float(t) for t in range(0, 101, 10)], spacing=0.0
+        )
+        inferred = infer_period_by_autocorrelation(events, bin_width=1.0)
+        assert inferred == pytest.approx(10.0, rel=1e-12)
+
+
+class TestTooFewEvents:
+    """<4 events must name the method and the count for both methods."""
+
+    METHODS = [
+        ("gaps", infer_period_by_gaps),
+        ("autocorrelation", infer_period_by_autocorrelation),
+    ]
+
+    @pytest.mark.parametrize("name,infer", METHODS)
+    def test_empty_stream(self, name, infer):
+        with pytest.raises(TraceError, match=f"by {name}.*got 0"):
+            infer([])
+
+    @pytest.mark.parametrize("name,infer", METHODS)
+    def test_three_events(self, name, infer):
+        events = [task_start(float(i), "a") for i in range(3)]
+        with pytest.raises(TraceError, match=f"by {name}.*got 3"):
+            infer(events)
+
+    @pytest.mark.parametrize("name,infer", METHODS)
+    def test_all_simultaneous(self, name, infer):
+        with pytest.raises(TraceError, match="simultaneous"):
+            infer(_simultaneous_stream(3))
 
 
 class TestSegmentation:
