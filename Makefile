@@ -9,7 +9,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Full static pass: style (ruff), types (mypy, strict for the kernel
-# boundary modules), and the codebase invariants (repro-lint RL001-RL005).
+# boundary modules), and the codebase invariants (repro-lint RL001-RL006).
 lint:
 	$(PYTHON) -m ruff check src/repro
 	$(PYTHON) -m mypy src/repro

@@ -180,6 +180,46 @@ def test_throughput_format_registry_round_trip(benchmark, gm):
         assert got.message_count() == trace.message_count(), name
 
 
+def test_throughput_store_ingest_learn_round_trip(benchmark, gm):
+    """Text log -> .rts store -> learn: the out-of-core pipeline.
+
+    Benchmarks the ingest leg (the store's write path) and asserts the
+    store-backed learn is bit-identical to the in-memory learn — the
+    mmap path is a representation change, never a different answer.
+    """
+    import os
+    import tempfile
+
+    from repro.pipeline.ingest import ingest_to_store
+    from repro.trace.formats import get_format
+    from repro.trace.store import open_store
+
+    trace = gm.trace.subtrace(8)
+    bound = 16
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log_path = os.path.join(tmp, "gm.log")
+        store_path = os.path.join(tmp, "gm.rts")
+        get_format("text").write(trace, log_path)
+
+        summary = benchmark.pedantic(
+            ingest_to_store,
+            args=(log_path, store_path),
+            rounds=3,
+            iterations=1,
+        )
+        assert summary.periods == len(trace)
+        assert summary.messages == trace.message_count()
+
+        store_result = learn_bounded(open_store(store_path).trace(), bound)
+        memory_result = learn_bounded(trace, bound)
+        assert [h.pairs for h in store_result.hypotheses] == [
+            h.pairs for h in memory_result.hypotheses
+        ]
+        assert store_result.lub() == memory_result.lub()
+        assert store_result.merge_count == memory_result.merge_count
+
+
 def test_throughput_workers_sweep(benchmark, gm):
     """Shard-parallel learning: wall clock and specificity vs sequential.
 

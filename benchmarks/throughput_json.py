@@ -13,9 +13,11 @@ replaying the extension cells recorded from a real GM learn) and
     python benchmarks/throughput_json.py --check      # soft regression gate
 
 ``--check`` compares a fresh measurement against the committed baseline
-and exits non-zero if bounded-learner throughput dropped by more than 20%,
-if the batch kernel fell under 2x the loop kernel on recorded cells, or
-if the batch learner regressed the loop learner end to end.
+and exits non-zero if bounded-learner or store-ingest throughput dropped
+by more than 20%, if the batch kernel fell under 2x the loop kernel on
+recorded cells, if the batch learner regressed the loop learner end to
+end, or if a store-backed (mmap) learn runs more than 10% slower than
+the in-memory learn (``learner_store`` parity).
 On machines with fewer than 4 CPUs (or under ``REPRO_BENCH_SMOKE=1``) the
 gate is skipped — shared CI runners below that size are too noisy to gate
 on — so CI's smoke job can call ``--check`` unconditionally.
@@ -35,6 +37,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -50,6 +53,9 @@ from repro.core.batch import (  # noqa: E402
 from repro.core.heuristic import BoundedLearner, learn_bounded  # noqa: E402
 from repro.core.interning import WeightKernel  # noqa: E402
 from repro.core.reference import learn_bounded_reference  # noqa: E402
+from repro.pipeline.ingest import ingest_to_store  # noqa: E402
+from repro.trace.formats import get_format  # noqa: E402
+from repro.trace.store import open_store  # noqa: E402
 from repro.trace.streaming import stream_learn  # noqa: E402
 from repro.trace.textio import dumps_trace  # noqa: E402
 
@@ -68,6 +74,11 @@ MIN_BATCH_KERNEL_SPEEDUP = 2.0
 #: candidates), and the vectorized win is what matters at the pool
 #: sizes where the loop kernel actually hurts.
 BATCH_OP_BOUND = 64
+
+#: Maximum fractional slowdown of a store-backed learn over the
+#: in-memory learn that passes --check: lazily materializing periods
+#: from the mmap must cost no more than 10% end to end.
+STORE_PARITY_TOLERANCE = 0.10
 
 
 def _best_seconds(call, repeats: int = 3) -> float:
@@ -180,6 +191,31 @@ def measure_throughput(smoke: bool = False) -> dict:
         lambda: stream_learn(io.StringIO(trace_text), bound=8), repeats
     )
 
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        log_path = os.path.join(tmp, "gm.log")
+        store_path = os.path.join(tmp, "gm.rts")
+        learn_store_path = os.path.join(tmp, "gm-learn.rts")
+        get_format("text").write(trace, log_path)
+        ingest_seconds = _best_seconds(
+            lambda: ingest_to_store(log_path, store_path), repeats
+        )
+        ingest_to_store(log_path, store_path)
+
+        from repro.trace.store import write_store
+
+        write_store(learn_trace, learn_store_path)
+        store_trace = open_store(learn_store_path).trace()
+        memory_result = learn_bounded(learn_trace, LEARNER_BOUND)
+        store_result = learn_bounded(store_trace, LEARNER_BOUND)
+        if memory_result.hypotheses != store_result.hypotheses:
+            raise RuntimeError(
+                "store-backed learn diverged from the in-memory learn on "
+                "the gm workload; refusing to benchmark a wrong path"
+            )
+        store_learner_seconds = _best_seconds(
+            lambda: learn_bounded(store_trace, LEARNER_BOUND), repeats
+        )
+
     batch_entries: dict = {}
     if batch_available():
         loop_result = learn_bounded(learn_trace, LEARNER_BOUND)
@@ -241,6 +277,26 @@ def measure_throughput(smoke: bool = False) -> dict:
                     f"text stream, {len(trace.periods)} periods, bound=8"
                 ),
             },
+            "ingest_store": {
+                "seconds": ingest_seconds,
+                "ops_per_second": len(trace.periods) / ingest_seconds,
+                "unit": "periods/s",
+                "workload": (
+                    f"text log -> .rts store, {len(trace.periods)} periods"
+                ),
+            },
+            "learner_store": {
+                "seconds": store_learner_seconds,
+                "ops_per_second": 1.0 / store_learner_seconds,
+                "unit": "traces/s",
+                "workload": (
+                    f"gm subtrace({len(learn_trace.periods)}) from a .rts "
+                    f"store (mmap), bound={LEARNER_BOUND}"
+                ),
+                "speedup_vs_memory": (
+                    learner_seconds / store_learner_seconds
+                ),
+            },
             **batch_entries,
         },
         "environment": {
@@ -262,14 +318,28 @@ def check_regression(current: dict, baseline: dict) -> list[str]:
     no end-to-end regression beyond the same tolerance.
     """
     failures = []
-    key = "learner_bounded"
-    now = current["benchmarks"][key]["ops_per_second"]
-    then = baseline["benchmarks"][key]["ops_per_second"]
-    if now < then * (1.0 - REGRESSION_TOLERANCE):
-        failures.append(
-            f"{key}: {now:.2f} ops/s is more than "
-            f"{REGRESSION_TOLERANCE:.0%} below the baseline {then:.2f} ops/s"
-        )
+    for key in ("learner_bounded", "ingest_store"):
+        row = current["benchmarks"].get(key)
+        past = baseline["benchmarks"].get(key)
+        if row is None or past is None:
+            continue  # older baselines predate ingest_store
+        now = row["ops_per_second"]
+        then = past["ops_per_second"]
+        if now < then * (1.0 - REGRESSION_TOLERANCE):
+            failures.append(
+                f"{key}: {now:.2f} ops/s is more than "
+                f"{REGRESSION_TOLERANCE:.0%} below the baseline "
+                f"{then:.2f} ops/s"
+            )
+    store_learn = current["benchmarks"].get("learner_store")
+    if store_learn is not None:
+        parity = store_learn["speedup_vs_memory"]
+        if parity < 1.0 - STORE_PARITY_TOLERANCE:
+            failures.append(
+                f"learner_store: {parity:.2f}x of the in-memory learn is "
+                f"below the {1.0 - STORE_PARITY_TOLERANCE:.2f}x parity "
+                "floor (mmap materialization too expensive)"
+            )
     kernel_ops = current["benchmarks"].get("learner_batch")
     if kernel_ops is not None:
         speedup = kernel_ops["speedup_vs_loop"]

@@ -4,7 +4,9 @@ A small operational surface over the library::
 
     repro simulate gm --periods 27 --out trace.log
     repro validate trace.log
-    repro learn trace.json --bound 32 --workers 4 --dot graph.dot
+    repro ingest capture.candump -o trace.rts --period-length 0.1
+    repro store-info trace.rts
+    repro learn trace.rts --bound 32 --workers 4 --dot graph.dot
     repro monitor trace.log --model model.json
     repro lint src/repro --json lint-report.json
 
@@ -82,6 +84,48 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("trace")
     _add_format_flag(validate)
     validate.add_argument("--tolerance", type=float, default=0.0)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="convert a trace log (or candump CAN log) into a columnar "
+        ".rts store, streaming with bounded memory",
+    )
+    ingest.add_argument("source")
+    ingest.add_argument("-o", "--out", required=True,
+                        help="destination store path (conventionally .rts)")
+    ingest.add_argument(
+        "--format",
+        choices=format_names() + ("canlog",),
+        default=None,
+        help="source format (default: inferred from the extension; "
+        ".canlog/.candump selects the CAN log parser)",
+    )
+    ingest.add_argument("--period-length", type=float, default=None,
+                        help="period length for segmenting a candump log "
+                        "(required with canlog sources)")
+    ingest.add_argument("--can-task", action="append", default=[],
+                        metavar="BYTE=NAME",
+                        help="instrumentation payload byte -> task name "
+                        "mapping for candump logs (repeatable, e.g. "
+                        "--can-task 1=ctrl)")
+    ingest.add_argument("--can-start-id", type=lambda s: int(s, 0),
+                        default=0x700,
+                        help="CAN id of task-start instrumentation frames "
+                        "(default: 0x700)")
+    ingest.add_argument("--can-end-id", type=lambda s: int(s, 0),
+                        default=0x701,
+                        help="CAN id of task-end instrumentation frames "
+                        "(default: 0x701)")
+    ingest.add_argument("--can-bitrate", type=float, default=500_000.0,
+                        help="bus bitrate in bits per timestamp unit "
+                        "(default: 500000)")
+
+    store_info = sub.add_parser(
+        "store-info", help="print a columnar store's header facts"
+    )
+    store_info.add_argument("store")
+    store_info.add_argument("--json", action="store_true",
+                            help="emit the raw info dict as JSON")
 
     learn = sub.add_parser("learn", help="learn a dependency model")
     learn.add_argument("trace")
@@ -213,6 +257,68 @@ def _cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
     return 1 if errors else 0
 
 
+def _parse_can_tasks(pairs: Sequence[str]) -> dict[int, str]:
+    mapping: dict[int, str] = {}
+    for pair in pairs:
+        byte_text, _, name = pair.partition("=")
+        try:
+            byte = int(byte_text, 0)
+        except ValueError:
+            raise ReproError(
+                f"--can-task expects BYTE=NAME, got {pair!r}"
+            ) from None
+        if not name:
+            raise ReproError(f"--can-task expects BYTE=NAME, got {pair!r}")
+        if byte in mapping:
+            raise ReproError(f"--can-task byte {byte} mapped twice")
+        mapping[byte] = name
+    return mapping
+
+
+def _cmd_ingest(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.pipeline.ingest import ingest_to_store
+    from repro.trace.canlog import CanLogConfig
+
+    can_config = CanLogConfig(
+        task_names=_parse_can_tasks(args.can_task),
+        start_id=args.can_start_id,
+        end_id=args.can_end_id,
+        bitrate=args.can_bitrate,
+    )
+    summary = ingest_to_store(
+        args.source,
+        args.out,
+        format=args.format,
+        period_length=args.period_length,
+        can_config=can_config,
+    )
+    out.write(summary.summary() + "\n")
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    from repro.pipeline.ingest import store_info
+
+    info = store_info(args.store)
+    if args.json:
+        out.write(json.dumps(info, indent=2, sort_keys=True) + "\n")
+        return 0
+    out.write(f"store: {info['path']}\n")
+    out.write(f"  bytes: {info['bytes']}\n")
+    out.write(f"  version: {info['version']}\n")
+    out.write(f"  tasks: {', '.join(info['tasks'])}\n")
+    out.write(f"  periods: {info['periods']}\n")
+    out.write(f"  events: {info['events']}\n")
+    out.write(f"  messages: {info['messages']}\n")
+    out.write(f"  observed tasks: {', '.join(info['observed_tasks'])}\n")
+    out.write(f"  interned subjects: {info['subjects']}\n")
+    for name, (offset, count) in sorted(info["columns"].items()):
+        out.write(f"  column {name}: {count} entries at +{offset}\n")
+    return 0
+
+
 def _cmd_learn(args: argparse.Namespace, out: TextIO) -> int:
     from repro.core.shardexec import ShardPolicy
 
@@ -315,6 +421,8 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "validate": _cmd_validate,
+        "ingest": _cmd_ingest,
+        "store-info": _cmd_store_info,
         "learn": _cmd_learn,
         "monitor": _cmd_monitor,
         "analyze": _cmd_analyze,

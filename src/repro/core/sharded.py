@@ -33,7 +33,13 @@ the Definition 8 weight.
 Workers are OS processes (:class:`concurrent.futures.ProcessPoolExecutor`)
 because the hot loop is pure Python and the GIL would serialize threads.
 Shards are contiguous period ranges so streamed traces shard by reading
-position.
+position. For an mmap-backed store trace
+(:class:`~repro.trace.store.StoreTrace`), :func:`split_periods` slices
+lazy zero-copy ranges and the runtime keeps them lazy
+(:class:`~repro.trace.columnar.LazyPeriods`), so the pickle payload a
+worker receives is the O(1) handle ``(store_path, period_range)`` rather
+than O(events) of pickled periods — each worker process maps the store
+itself and materializes only the periods it feeds.
 
 Execution is delegated to the fault-tolerant runtime in
 :mod:`repro.core.shardexec`: per-shard timeouts, bounded retries with

@@ -84,6 +84,7 @@ from typing import Callable, Sequence
 
 from repro.core.instrumentation import HotLoopCounters
 from repro.errors import ShardExecutionError
+from repro.trace.columnar import LazyPeriods
 from repro.trace.period import Period
 
 #: Environment variable holding the chaos plan (see :func:`parse_chaos`).
@@ -277,10 +278,16 @@ class ShardJob:
     ``index`` is stable across retries (it keys chaos injection and
     backoff jitter); split children receive fresh, never-reused indices
     so injected faults do not follow a lineage across a bisection.
+
+    ``periods`` is a materialized tuple for in-memory traces, but lazy
+    :class:`~repro.trace.columnar.LazyPeriods` views (the store's
+    zero-copy ranges) are kept intact: slicing them for a bisection is
+    O(1), and pickling one for a worker ships a ``(store_path,
+    period_range)`` handle instead of the events.
     """
 
     index: int
-    periods: tuple[Period, ...]
+    periods: Sequence[Period]
     attempt: int = 0
     splits: int = 0
     not_before: float = 0.0
@@ -355,7 +362,12 @@ class ShardRuntime:
     def run(self, shards: Sequence[Sequence[Period]]) -> list:
         """Learn every shard, tolerating faults; outcomes in any order."""
         queue: deque[ShardJob] = deque(
-            ShardJob(index=i, periods=tuple(shard))
+            ShardJob(
+                index=i,
+                periods=(
+                    shard if isinstance(shard, LazyPeriods) else tuple(shard)
+                ),
+            )
             for i, shard in enumerate(shards)
         )
         self._next_index = len(queue)

@@ -6,4 +6,5 @@ from repro.devtools.lint.rules import (  # noqa: F401
     rl003_boundary,
     rl004_pickle,
     rl005_anchors,
+    rl006_columnar,
 )

@@ -1,0 +1,125 @@
+"""RL006 — columnar-store boundary containment.
+
+The raw column layout of the ``.rts`` trace store — parallel
+little-endian arrays, interned subject codes, the ``mmap`` window they
+are viewed through — is an implementation detail of
+:mod:`repro.trace.columnar` and :mod:`repro.trace.store`. Everything
+above that boundary speaks :class:`~repro.trace.period.Period` and
+:class:`~repro.trace.events.Event` objects (lazily materialized by the
+columnar views). If learners, analysis or CLI code read the raw
+columns directly, the on-disk layout could never change again, and a
+consumer holding a live column view would silently pin the mmap (and
+the file) open past ``TraceStore.close()``.
+
+Outside the two columnar modules (and ``repro.devtools`` itself) the
+rule flags:
+
+* importing :mod:`mmap` at all — mapped trace windows are created in
+  exactly one place so their lifetime is auditable;
+* the raw-column accessors ``times_view`` / ``kinds_view`` /
+  ``subjects_view`` / ``offsets_view`` — the only API that exposes the
+  backing arrays — whether called as attributes or referenced by name;
+* the subject-interning primitives ``encode_subject`` /
+  ``decode_subject``: subject codes (including the tagged auto-label
+  range) must not leak past the boundary as plain ints.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import ModuleContext, Rule, register
+
+#: Accessors that hand out the raw backing columns.
+COLUMN_ACCESSORS = frozenset(
+    {
+        "times_view",
+        "kinds_view",
+        "subjects_view",
+        "offsets_view",
+    }
+)
+
+#: Subject-interning primitives; codes are boundary-internal.
+INTERNING_NAMES = frozenset({"encode_subject", "decode_subject"})
+
+#: Modules allowed to touch raw columns and mmap windows.
+ALLOWED_PREFIXES = (
+    "repro.trace.columnar",
+    "repro.trace.store",
+    "repro.devtools",
+)
+
+
+@register
+class ColumnarBoundaryRule(Rule):
+    code = "RL006"
+    name = "columnar-boundary-containment"
+    invariant = (
+        "modules outside repro.trace.columnar/.store consume Period "
+        "objects only; raw columns, subject codes and mmap windows "
+        "never cross the columnar boundary"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro") and not ctx.module.startswith(
+            ALLOWED_PREFIXES
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.applies_to(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "mmap" or (
+                    node.module and node.module.startswith("mmap.")
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "import from mmap outside the columnar boundary; "
+                        "open stores via repro.trace.store.open_store",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "mmap" or alias.name.startswith("mmap."):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "import of mmap outside the columnar boundary; "
+                            "open stores via repro.trace.store.open_store",
+                        )
+            elif isinstance(node, ast.Name) and node.id in INTERNING_NAMES:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"'{node.id}' interns subject codes; modules outside "
+                    "the columnar boundary must stay on Period/Event "
+                    "objects",
+                )
+            elif isinstance(node, ast.Attribute):
+                if node.attr in COLUMN_ACCESSORS:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"'.{node.attr}' exposes a raw store column "
+                        "outside the columnar boundary; iterate periods "
+                        "instead",
+                    )
+            elif isinstance(node, ast.Name) and node.id in COLUMN_ACCESSORS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"'{node.id}' exposes a raw store column outside the "
+                    "columnar boundary; iterate periods instead",
+                )
+
+
+__all__ = [
+    "ALLOWED_PREFIXES",
+    "COLUMN_ACCESSORS",
+    "ColumnarBoundaryRule",
+    "INTERNING_NAMES",
+]

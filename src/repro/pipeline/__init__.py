@@ -3,7 +3,10 @@
 * :mod:`repro.pipeline.config` — :class:`PipelineConfig`, the single
   dataclass that decides which stages run;
 * :mod:`repro.pipeline.engine` — :class:`LearnPipeline` and the
-  :class:`PipelineRun` context it threads through the stages.
+  :class:`PipelineRun` context it threads through the stages;
+* :mod:`repro.pipeline.ingest` — bounded-memory conversion of trace
+  logs into the columnar ``.rts`` store (``repro ingest``) and store
+  header inspection (``repro store-info``).
 
 The CLI's command handlers are thin adapters over this package: each
 subcommand builds a :class:`PipelineConfig` from its argparse namespace
@@ -17,6 +20,7 @@ from repro.pipeline.engine import (
     StageTiming,
     run_pipeline,
 )
+from repro.pipeline.ingest import IngestSummary, ingest_to_store, store_info
 
 __all__ = [
     "PipelineConfig",
@@ -24,4 +28,7 @@ __all__ = [
     "PipelineRun",
     "StageTiming",
     "run_pipeline",
+    "IngestSummary",
+    "ingest_to_store",
+    "store_info",
 ]

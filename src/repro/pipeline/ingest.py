@@ -1,0 +1,175 @@
+"""Bounded-memory ingestion into the columnar trace store.
+
+``repro ingest <log> -o trace.rts`` and ``repro store-info trace.rts``
+are thin CLI shells over this module, the same way the other commands
+shell over :mod:`repro.pipeline.engine`. Two entry points:
+
+* :func:`ingest_to_store` converts any registered
+  :class:`~repro.trace.formats.TraceFormat` — or a candump CAN log —
+  into a ``.rts`` store, streaming period by period through a
+  :class:`~repro.trace.store.TraceStoreWriter` so peak memory is bounded
+  by the largest single period regardless of log size. candump logs
+  have no period structure of their own, so they are segmented on the
+  fly by a fixed period length (events bucketed by
+  ``floor(time / period_length)``, empty interior buckets preserved —
+  the same rule as :meth:`~repro.trace.trace.Trace.from_events`).
+* :func:`store_info` returns a finalized store's header facts without
+  touching the column data (the header is a few hundred bytes at the
+  front of the file; the mmap never faults in the columns).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ReproError, TraceError
+from repro.trace.canlog import CanLogConfig, iter_canlog_events
+from repro.trace.events import Event
+from repro.trace.formats import resolve_format
+from repro.trace.store import TraceStoreWriter, open_store
+
+#: The ingest-only pseudo-format for candump CAN logs (candump is a flat
+#: event stream, not a period format, so it is not in the trace-format
+#: registry; ingestion is where it gains period structure).
+CANLOG_FORMAT = "canlog"
+
+#: Extensions that select candump ingestion when no format is named.
+CANLOG_EXTENSIONS = (".canlog", ".candump")
+
+
+@dataclass(frozen=True)
+class IngestSummary:
+    """What one ingest run wrote."""
+
+    path: str
+    format: str
+    periods: int
+    events: int
+    messages: int
+    bytes: int
+
+    def summary(self) -> str:
+        return (
+            f"ingested {self.periods} periods / {self.events} events "
+            f"({self.messages} messages) from {self.format} into "
+            f"{self.path} ({self.bytes} bytes)"
+        )
+
+
+def _segment_events(
+    events: Iterable[Event], period_length: float
+) -> Iterator[list[Event]]:
+    """Bucket a time-ordered flat event stream into period event lists.
+
+    Empty interior buckets yield empty lists (they become empty periods,
+    keeping period indices aligned with wall-clock time); out-of-order
+    buckets raise :class:`~repro.errors.TraceError`, since a
+    bounded-memory pass cannot re-sort the log.
+    """
+    if period_length <= 0:
+        raise TraceError("period_length must be positive")
+    bucket: int | None = None
+    current: list[Event] = []
+    for event in events:
+        target = int(event.time // period_length)
+        if bucket is None:
+            bucket = target
+        elif target < bucket:
+            raise TraceError(
+                "candump ingestion requires a time-ordered log: event at "
+                f"{event.time} falls before period {bucket}"
+            )
+        while bucket < target:
+            yield current
+            current = []
+            bucket += 1
+        current.append(event)
+    if bucket is not None:
+        yield current
+
+
+def ingest_to_store(
+    source: str,
+    out: str,
+    format: str | None = None,
+    period_length: float | None = None,
+    can_config: CanLogConfig | None = None,
+    message_labels: dict[int, str] | None = None,
+) -> IngestSummary:
+    """Stream *source* into a ``.rts`` store at *out*, bounded memory.
+
+    *format* is a trace-format registry name or :data:`CANLOG_FORMAT`;
+    ``None`` infers candump from a ``.canlog``/``.candump`` extension
+    and otherwise defers to :func:`~repro.trace.formats.resolve_format`.
+    candump ingestion needs *can_config* (task instrumentation ids) and
+    an explicit *period_length* — a single bounded-memory pass cannot
+    infer the period first; infer it separately with
+    :func:`repro.trace.periodize.infer_period_from_times` if unknown.
+    """
+    extension = os.path.splitext(source)[1].lower()
+    if format == CANLOG_FORMAT or (
+        format is None and extension in CANLOG_EXTENSIONS
+    ):
+        if can_config is None:
+            can_config = CanLogConfig()
+        if period_length is None:
+            raise ReproError(
+                "candump ingestion requires --period-length: the log is a "
+                "flat event stream with no period structure of its own"
+            )
+        tasks = tuple(
+            can_config.task_names[byte]
+            for byte in sorted(can_config.task_names)
+        )
+        writer = TraceStoreWriter(out, tasks)
+        try:
+            with open(source, "r", encoding="utf-8") as stream:
+                events = iter_canlog_events(stream, can_config, message_labels)
+                for period_events in _segment_events(events, period_length):
+                    writer.add_period(period_events)
+        except BaseException:
+            writer.abort()
+            raise
+        store = writer.finalize()
+        format_name = CANLOG_FORMAT
+    else:
+        fmt = resolve_format(format, source)
+        if fmt.name == "store":
+            raise ReproError(
+                f"{source} is already a trace store; copy the file instead "
+                "of re-ingesting it"
+            )
+        tasks, periods = fmt.open_periods(source)
+        writer = TraceStoreWriter(out, tasks)
+        try:
+            for period in periods:
+                writer.add_period(period)
+        except BaseException:
+            writer.abort()
+            raise
+        store = writer.finalize()
+        format_name = fmt.name
+    return IngestSummary(
+        path=store.path,
+        format=format_name,
+        periods=store.period_count,
+        events=store.event_count,
+        messages=store.message_count,
+        bytes=store.info()["bytes"],
+    )
+
+
+def store_info(path: str) -> dict:
+    """A finalized store's header facts (see :meth:`TraceStore.info`)."""
+    return open_store(path).info()
+
+
+__all__ = [
+    "CANLOG_EXTENSIONS",
+    "CANLOG_FORMAT",
+    "IngestSummary",
+    "ingest_to_store",
+    "store_info",
+]

@@ -11,7 +11,16 @@ from repro.trace.events import (
     task_start,
 )
 from repro.trace.anonymize import Anonymization, anonymize_trace, letter_names
+from repro.trace.columnar import ColumnarPeriods, LazyPeriods, LazyTrace
 from repro.trace.period import Period
+from repro.trace.store import (
+    StoreTrace,
+    TraceStore,
+    TraceStoreWriter,
+    open_store,
+    read_store,
+    write_store,
+)
 from repro.trace.streaming import (
     StreamHeader,
     iter_periods,
@@ -21,6 +30,8 @@ from repro.trace.streaming import (
 from repro.trace.periodize import (
     infer_period_by_autocorrelation,
     infer_period_by_gaps,
+    infer_period_from_times,
+    segment_columnar,
     segment_stream,
 )
 from repro.trace.synthetic import (
@@ -70,7 +81,18 @@ __all__ = [
     "letter_names",
     "infer_period_by_gaps",
     "infer_period_by_autocorrelation",
+    "infer_period_from_times",
+    "segment_columnar",
     "segment_stream",
+    "ColumnarPeriods",
+    "LazyPeriods",
+    "LazyTrace",
+    "StoreTrace",
+    "TraceStore",
+    "TraceStoreWriter",
+    "open_store",
+    "read_store",
+    "write_store",
     "StreamHeader",
     "read_header",
     "iter_periods",

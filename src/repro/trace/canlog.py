@@ -27,7 +27,7 @@ tools that expect candump input.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import TraceParseError
 from repro.trace.events import Event, EventKind, msg_fall, msg_rise, task_end, task_start
@@ -110,11 +110,26 @@ def parse_frame(line: str, line_number: int | None = None) -> CanFrame:
     return CanFrame(timestamp, channel, can_id, data)
 
 
-def canlog_to_events(
-    lines: Iterable[str], config: CanLogConfig
-) -> list[Event]:
-    """Convert a candump log into trace events (flat stream)."""
-    events: list[Event] = []
+def iter_canlog_events(
+    lines: Iterable[str],
+    config: CanLogConfig,
+    message_labels: dict[int, str] | None = None,
+) -> Iterator[Event]:
+    """Lazily convert a candump log into trace events.
+
+    One line in, one or two events out — this is the bounded-memory
+    ingestion path (``repro ingest`` streams a multi-GB log through it
+    line by line).
+
+    *message_labels* optionally maps application CAN identifiers to
+    message labels: a frame on a mapped identifier yields that label
+    (the inverse of :func:`events_to_canlog`'s ``message_ids``, which is
+    what makes the round trip label-faithful). Unmapped identifiers keep
+    the classic behavior: globally unique auto-numbered labels (``m1``,
+    ``m2``, ...). Mapped labels repeat across periods, so they rely on
+    the later period segmentation for per-period uniqueness — exactly
+    like a real bus, where the same CAN id recurs every cycle.
+    """
     message_counter = 0
     for line_number, raw in enumerate(lines, start=1):
         line = raw.strip()
@@ -133,17 +148,35 @@ def canlog_to_events(
                     f"unknown task id 0x{frame.data[0]:02x}", line_number
                 )
             if frame.can_id == config.start_id:
-                events.append(task_start(frame.timestamp, task))
+                yield task_start(frame.timestamp, task)
             else:
-                events.append(task_end(frame.timestamp, task))
+                yield task_end(frame.timestamp, task)
         else:
-            message_counter += 1
-            label = f"m{message_counter}"
+            label = (
+                message_labels.get(frame.can_id)
+                if message_labels is not None
+                else None
+            )
+            if label is None:
+                message_counter += 1
+                label = f"m{message_counter}"
             rise = frame.timestamp
             fall = rise + config.frame_duration(len(frame.data))
-            events.append(msg_rise(rise, label))
-            events.append(msg_fall(fall, label))
-    return events
+            yield msg_rise(rise, label)
+            yield msg_fall(fall, label)
+
+
+def canlog_to_events(
+    lines: Iterable[str],
+    config: CanLogConfig,
+    message_labels: dict[int, str] | None = None,
+) -> list[Event]:
+    """Convert a candump log into trace events (flat stream).
+
+    Batch twin of :func:`iter_canlog_events` (same semantics, same
+    optional id -> label mapping).
+    """
+    return list(iter_canlog_events(lines, config, message_labels))
 
 
 def events_to_canlog(
@@ -152,13 +185,34 @@ def events_to_canlog(
     channel: str = "can0",
     message_id: int = 0x123,
     message_bytes: int = 4,
+    message_ids: dict[str, int] | None = None,
 ) -> list[str]:
     """Render trace events as a candump log (inverse of the parser).
 
     Message falling edges are implicit in the log (derived from frame
     length), so only rises are emitted for messages.
+
+    By default every message collapses onto the single *message_id* —
+    fine for volume synthesis, but the round trip loses message
+    identity. Pass *message_ids* (label -> application CAN identifier)
+    to keep it: each mapped label gets its own identifier, and parsing
+    the log back with the inverse mapping via
+    :func:`canlog_to_events`'s ``message_labels`` reproduces the
+    original labels. Mapped identifiers must not collide with the
+    instrumentation identifiers.
     """
     id_of_task = {name: byte for byte, name in config.task_names.items()}
+    if message_ids is not None:
+        reserved = {config.start_id, config.end_id}
+        clashes = sorted(
+            label for label, can_id in message_ids.items()
+            if can_id in reserved
+        )
+        if clashes:
+            raise ValueError(
+                f"message_ids assigns instrumentation identifiers to "
+                f"label(s) {', '.join(clashes)}"
+            )
     lines = []
     for event in sorted(events):
         if event.kind is EventKind.TASK_START:
@@ -174,9 +228,12 @@ def events_to_canlog(
                 f"{config.end_id:03X}#{byte:02X}"
             )
         elif event.kind is EventKind.MSG_RISE:
+            can_id = message_id
+            if message_ids is not None:
+                can_id = message_ids.get(event.subject, message_id)
             payload = "00" * message_bytes
             lines.append(
-                f"({event.time:.6f}) {channel} {message_id:03X}#{payload}"
+                f"({event.time:.6f}) {channel} {can_id:03X}#{payload}"
             )
         # falls are implicit
     return lines

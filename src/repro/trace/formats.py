@@ -20,9 +20,18 @@ Formats that support bounded-memory streaming (currently the textual log)
 also carry a ``streamer`` that yields periods lazily; the others fall back
 to batch loading (see :meth:`TraceFormat.stream_periods`).
 
-The built-in formats — ``text``, ``csv``, ``json`` — are registered at
-import time; external adapters can register their own at runtime (the
-registry is keyed by name, first registration wins unless ``replace``).
+Binary formats cannot speak ``TextIO``: the mmap-backed columnar store
+(:mod:`repro.trace.store`) registers path-based overrides instead — the
+optional ``reader`` / ``writer`` / ``path_streamer`` fields — and
+:meth:`TraceFormat.read` / :meth:`TraceFormat.write` /
+:meth:`TraceFormat.open_periods` prefer them when present, so every
+path-driven consumer (the CLI, the pipeline's ingest stage,
+``stream_learn``) works with ``.rts`` stores unchanged.
+
+The built-in formats — ``text``, ``csv``, ``json``, ``store`` — are
+registered at import time; external adapters can register their own at
+runtime (the registry is keyed by name, first registration wins unless
+``replace``).
 """
 
 from __future__ import annotations
@@ -62,6 +71,15 @@ class TraceFormat:
     streamer:
         Optional bounded-memory reader; ``None`` means streaming falls
         back to a batch load (see :meth:`stream_periods`).
+    reader / writer:
+        Optional path-based overrides for binary formats that cannot
+        speak ``TextIO`` (the mmap-backed store). When set,
+        :meth:`read` / :meth:`write` use them instead of opening a text
+        stream around ``load`` / ``dump``.
+    path_streamer:
+        Optional path-based bounded-memory reader (same contract as
+        ``streamer``, but owns its file handle); preferred by
+        :meth:`open_periods`.
     """
 
     name: str
@@ -69,6 +87,11 @@ class TraceFormat:
     load: Callable[[TextIO], Trace]
     dump: Callable[[Trace, TextIO], None]
     streamer: Streamer | None = field(default=None)
+    reader: Callable[[str], Trace] | None = field(default=None)
+    writer: Callable[[Trace, str], None] | None = field(default=None)
+    path_streamer: (
+        Callable[[str], tuple[tuple[str, ...], Iterator[Period]]] | None
+    ) = field(default=None)
 
     def stream_periods(
         self, stream: TextIO
@@ -86,13 +109,44 @@ class TraceFormat:
 
     def read(self, path: str) -> Trace:
         """Load a trace from the file at *path*."""
+        if self.reader is not None:
+            return self.reader(path)
         with open(path, "r", encoding="utf-8") as stream:
             return self.load(stream)
 
     def write(self, trace: Trace, path: str) -> None:
         """Write *trace* to the file at *path*."""
+        if self.writer is not None:
+            self.writer(trace, path)
+            return
         with open(path, "w", encoding="utf-8") as stream:
             self.dump(trace, stream)
+
+    def open_periods(
+        self, path: str
+    ) -> tuple[tuple[str, ...], Iterator[Period]]:
+        """Path-based :meth:`stream_periods`: the format owns the handle.
+
+        Binary formats use their ``path_streamer``; text formats open
+        the file and close it when the period iterator is exhausted (or
+        dropped).
+        """
+        if self.path_streamer is not None:
+            return self.path_streamer(path)
+        stream = open(path, "r", encoding="utf-8")
+        try:
+            tasks, periods = self.stream_periods(stream)
+        except BaseException:
+            stream.close()
+            raise
+
+        def _closing() -> Iterator[Period]:
+            try:
+                yield from periods
+            finally:
+                stream.close()
+
+        return tasks, _closing()
 
 
 class UnknownFormatError(ReproError):
@@ -224,3 +278,24 @@ JSON = register_format(
         dump=jsonio.dump_json,
     )
 )
+
+
+def _register_store() -> TraceFormat:
+    # Imported here (not at module top) so the trace package's import
+    # graph stays acyclic: store -> columnar -> trace, never -> formats.
+    from repro.trace import store as storeio
+
+    return register_format(
+        TraceFormat(
+            name="store",
+            extensions=(".rts",),
+            load=storeio.load_store_stream,
+            dump=storeio.dump_store_stream,
+            reader=storeio.read_store,
+            writer=storeio.write_store,
+            path_streamer=storeio.stream_store,
+        )
+    )
+
+
+STORE = _register_store()

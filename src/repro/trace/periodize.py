@@ -12,6 +12,13 @@ black box may be unknown. This module infers it:
   first dominant autocorrelation peak gives the period (uses numpy);
 * :func:`segment_stream` — convenience wrapper: infer, validate, and
   return a segmented :class:`~repro.trace.trace.Trace`.
+
+Both inference methods also take a raw timestamp array
+(:func:`infer_period_from_times`), and :func:`segment_columnar` segments
+parallel event arrays into a lazy
+:class:`~repro.trace.columnar.LazyTrace` without ever materializing
+:class:`~repro.trace.events.Event` objects — the out-of-core path for
+store-backed traces.
 """
 
 from __future__ import annotations
@@ -21,8 +28,18 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import TraceError
+from repro.trace.columnar import LazyTrace, trace_from_arrays
 from repro.trace.events import Event
 from repro.trace.trace import Trace
+
+
+def _validated_times(times, method: str) -> np.ndarray:
+    if len(times) < 4:
+        raise TraceError(
+            f"too few events to infer a period by {method}: "
+            f"got {len(times)}, need at least 4"
+        )
+    return np.sort(np.asarray(times, dtype=np.float64))
 
 
 def _sorted_times(events: Sequence[Event], method: str) -> np.ndarray:
@@ -34,17 +51,7 @@ def _sorted_times(events: Sequence[Event], method: str) -> np.ndarray:
     return np.array(sorted(event.time for event in events))
 
 
-def infer_period_by_gaps(
-    events: Sequence[Event], gap_factor: float = 3.0
-) -> float:
-    """Infer the period from inter-burst gaps.
-
-    Looks for inter-event gaps at least ``gap_factor`` times the median
-    gap; the period is the median distance between consecutive burst
-    starts. Raises :class:`~repro.errors.TraceError` when no such
-    structure exists (densely packed streams — use autocorrelation).
-    """
-    times = _sorted_times(events, "gaps")
+def _period_from_gaps(times: np.ndarray, gap_factor: float) -> float:
     gaps = np.diff(times)
     positive = gaps[gaps > 0]
     if positive.size == 0:
@@ -62,23 +69,24 @@ def infer_period_by_gaps(
     return float(np.median(distances))
 
 
-def infer_period_by_autocorrelation(
-    events: Sequence[Event],
-    bin_width: float | None = None,
-    min_period_bins: int = 2,
+def infer_period_by_gaps(
+    events: Sequence[Event], gap_factor: float = 3.0
 ) -> float:
-    """Infer the period from the autocorrelation of the event-rate signal.
+    """Infer the period from inter-burst gaps.
 
-    The stream is binned into an event-count signal; the lag with the
-    highest autocorrelation (beyond ``min_period_bins``) is the period.
-
-    The histogram tiles the stream's span exactly, so the effective bin
-    width is ``span / ceil(span / bin_width)`` — the nearest width no
-    larger than the requested *bin_width* that divides the span evenly
-    (equal to *bin_width* whenever the span is an exact multiple of it).
-    The returned period is expressed in that effective width.
+    Looks for inter-event gaps at least ``gap_factor`` times the median
+    gap; the period is the median distance between consecutive burst
+    starts. Raises :class:`~repro.errors.TraceError` when no such
+    structure exists (densely packed streams — use autocorrelation).
     """
-    times = _sorted_times(events, "autocorrelation")
+    return _period_from_gaps(_sorted_times(events, "gaps"), gap_factor)
+
+
+def _period_from_autocorrelation(
+    times: np.ndarray,
+    bin_width: float | None,
+    min_period_bins: int,
+) -> float:
     span = float(times[-1] - times[0])
     if span <= 0:
         raise TraceError("all events are simultaneous")
@@ -112,6 +120,75 @@ def infer_period_by_autocorrelation(
     if lag is None:
         lag = int(np.argmax(tail)) + min_period_bins
     return float(lag * (span / bin_count))
+
+
+def infer_period_by_autocorrelation(
+    events: Sequence[Event],
+    bin_width: float | None = None,
+    min_period_bins: int = 2,
+) -> float:
+    """Infer the period from the autocorrelation of the event-rate signal.
+
+    The stream is binned into an event-count signal; the lag with the
+    highest autocorrelation (beyond ``min_period_bins``) is the period.
+
+    The histogram tiles the stream's span exactly, so the effective bin
+    width is ``span / ceil(span / bin_width)`` — the nearest width no
+    larger than the requested *bin_width* that divides the span evenly
+    (equal to *bin_width* whenever the span is an exact multiple of it).
+    The returned period is expressed in that effective width.
+    """
+    return _period_from_autocorrelation(
+        _sorted_times(events, "autocorrelation"), bin_width, min_period_bins
+    )
+
+
+def infer_period_from_times(
+    times,
+    method: str = "gaps",
+    gap_factor: float = 3.0,
+    bin_width: float | None = None,
+    min_period_bins: int = 2,
+) -> float:
+    """Infer the period straight from a timestamp array.
+
+    The columnar twin of the event-based inference functions: *times* is
+    any float sequence (an ``array('d')`` column, a numpy array, a
+    list), so period inference never requires materializing events.
+    Same heuristics, same diagnostics.
+    """
+    validated = _validated_times(times, method)
+    if method == "gaps":
+        return _period_from_gaps(validated, gap_factor)
+    if method == "autocorrelation":
+        return _period_from_autocorrelation(
+            validated, bin_width, min_period_bins
+        )
+    raise TraceError(f"unknown inference method: {method!r}")
+
+
+def segment_columnar(
+    tasks: Iterable[str],
+    times,
+    kinds,
+    subjects,
+    subject_table: Sequence[str],
+    period_length: float | None = None,
+    method: str = "gaps",
+) -> LazyTrace:
+    """Segment parallel event arrays into a lazy columnar trace.
+
+    Array twin of :func:`segment_stream`: the period length is inferred
+    from the timestamp column when not given, and the returned
+    :class:`~repro.trace.columnar.LazyTrace` materializes periods only
+    as they are consumed — no :class:`~repro.trace.events.Event` objects
+    are built for the segmentation itself.
+    """
+    if period_length is None:
+        period_length = infer_period_from_times(times, method=method)
+    return trace_from_arrays(
+        tasks, times, kinds, subjects, subject_table, period_length
+    )
 
 
 def segment_stream(

@@ -15,6 +15,7 @@ arbitrarily long logs with per-period memory::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterator, TextIO
 
@@ -113,26 +114,44 @@ def iter_periods(stream: TextIO, header: StreamHeader) -> Iterator[Period]:
 
 
 def stream_learn(
-    stream: TextIO,
+    source: TextIO | str,
     bound: int | None = None,
     tolerance: float = 0.0,
-    format: str = "text",
+    format: str | None = None,
+    kernel: str = "auto",
 ):
-    """One-call streamed learning from an open trace stream.
+    """One-call streamed learning from a trace stream or file path.
 
-    *format* names any entry of the :mod:`repro.trace.formats` registry.
-    The textual log format streams period-by-period (memory bounded by
-    the largest period); formats without a streamer — CSV and JSON must
-    be parsed whole — fall back to a batch load and then feed
+    *source* is either an open text stream or a file path; binary
+    formats (the mmap-backed ``store``) require a path. *format* names
+    any entry of the :mod:`repro.trace.formats` registry; ``None`` (the
+    default) infers the format from a path source's extension and means
+    ``"text"`` for stream sources. The textual
+    log and the store stream period-by-period (memory bounded by the
+    largest single period); formats without a streamer — CSV and JSON
+    must be parsed whole — fall back to a batch load and then feed
     incrementally, so the learner-side behavior is identical either way.
+
+    *kernel* selects the mask-kernel backend exactly as
+    :func:`~repro.core.learner.make_learner` does (``"auto"`` — the
+    default — picks the vectorized batch kernel when numpy is
+    available); the backends learn bit-for-bit identical models.
 
     Returns the finished :class:`~repro.core.result.LearningResult`.
     """
     from repro.core.learner import make_learner
-    from repro.trace.formats import get_format
+    from repro.trace.formats import get_format, resolve_format
 
-    tasks, periods = get_format(format).stream_periods(stream)
-    learner = make_learner(tasks, bound=bound, tolerance=tolerance)
+    if isinstance(source, (str, os.PathLike)):
+        fmt = resolve_format(format, os.fspath(source))
+        tasks, periods = fmt.open_periods(os.fspath(source))
+    else:
+        tasks, periods = get_format(
+            format if format is not None else "text"
+        ).stream_periods(source)
+    learner = make_learner(
+        tasks, bound=bound, tolerance=tolerance, kernel=kernel
+    )
     for period in periods:
         learner.feed(period)
     return learner.result()

@@ -58,6 +58,13 @@ class Trace:
         analyst segments it by the known system period. An event stream in
         which a task or message straddles a boundary raises
         :class:`~repro.errors.TraceError` during period assembly.
+
+        A period in which nothing happened is still a period: interior
+        buckets with no events become *empty* periods, so the indices of
+        later periods line up with wall-clock time. Leading/trailing
+        emptiness is dropped — the observed range defines the window.
+        (For segmenting a flat timestamp *array* without materializing
+        events, see :func:`repro.trace.columnar.trace_from_arrays`.)
         """
         if period_length <= 0:
             raise TraceError("period_length must be positive")
@@ -66,9 +73,11 @@ class Trace:
             buckets.setdefault(int(event.time // period_length), []).append(event)
         if not buckets:
             return cls(tasks, [])
+        first = min(buckets)
+        last = max(buckets)
         periods = [
-            Period(buckets[key], index=i)
-            for i, key in enumerate(sorted(buckets))
+            Period(buckets.get(key, ()), index=i)
+            for i, key in enumerate(range(first, last + 1))
         ]
         return cls(tasks, periods)
 

@@ -7,9 +7,16 @@ from repro.trace.canlog import (
     CanLogConfig,
     canlog_to_events,
     events_to_canlog,
+    iter_canlog_events,
     parse_frame,
 )
-from repro.trace.events import EventKind
+from repro.trace.events import (
+    EventKind,
+    msg_fall,
+    msg_rise,
+    task_end,
+    task_start,
+)
 
 CONFIG = CanLogConfig(
     task_names={0x01: "t1", 0x02: "t2"},
@@ -113,6 +120,45 @@ class TestRoundTrip:
         assert [
             (e.kind, e.subject, round(e.time, 6)) for e in recovered
         ] == [(e.kind, e.subject, round(e.time, 6)) for e in events]
+
+    def test_label_faithful_round_trip(self):
+        # With a label->id mapping the round trip preserves message
+        # identity instead of renumbering every frame m1, m2, ...
+        events = [
+            task_start(0.000, "t1"),
+            task_end(0.002, "t1"),
+            msg_rise(0.0021, "speed"),
+            msg_fall(0.0021 + CONFIG.frame_duration(4), "speed"),
+            msg_rise(0.0030, "torque"),
+            msg_fall(0.0030 + CONFIG.frame_duration(4), "torque"),
+            task_start(0.004, "t2"),
+            task_end(0.006, "t2"),
+        ]
+        ids = {"speed": 0x201, "torque": 0x202}
+        rendered = events_to_canlog(events, CONFIG, message_ids=ids)
+        recovered = canlog_to_events(
+            rendered, CONFIG,
+            message_labels={can_id: label for label, can_id in ids.items()},
+        )
+        assert [
+            (e.kind, e.subject, round(e.time, 6)) for e in recovered
+        ] == [(e.kind, e.subject, round(e.time, 6)) for e in events]
+
+    def test_message_ids_clashing_with_instrumentation_rejected(self):
+        events = [msg_rise(0.0, "speed"), msg_fall(0.001, "speed")]
+        with pytest.raises(ValueError, match="speed"):
+            events_to_canlog(
+                events, CONFIG, message_ids={"speed": CONFIG.start_id}
+            )
+
+    def test_iter_canlog_events_is_lazy(self):
+        def lines():
+            yield "(0.000000) can0 700#01"
+            yield "(0.002000) can0 701#01"
+            raise AssertionError("second line must not be pulled eagerly")
+
+        stream = iter_canlog_events(lines(), CONFIG)
+        assert next(stream).subject == "t1"
 
     def test_full_pipeline_learnable(self):
         # task t1 runs, sends a frame, t2 runs: the learner should see

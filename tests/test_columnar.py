@@ -1,0 +1,222 @@
+"""Tests for the columnar period views (repro.trace.columnar).
+
+The contract under test: a :class:`ColumnarPeriods` view over parallel
+arrays materializes exactly the periods the object path would build —
+same events, same times, same indices — while exposing only
+:class:`Period` objects above the RL006 boundary.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.columnar import (
+    AUTO_LABEL_BIT,
+    ColumnarPeriods,
+    LazyPeriods,
+    LazyTrace,
+    decode_subject,
+    encode_subject,
+    segment_offsets,
+    trace_from_arrays,
+)
+from repro.trace.events import msg_fall, msg_rise, task_end, task_start
+from repro.trace.period import Period
+from repro.trace.synthetic import paper_figure2_trace
+from repro.trace.trace import Trace
+
+
+@pytest.fixture()
+def figure2():
+    return paper_figure2_trace()
+
+
+class TestColumnarPeriods:
+    def test_round_trip_preserves_events(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        assert len(view) == len(figure2)
+        for original, rebuilt in zip(figure2.periods, view):
+            assert rebuilt.index == original.index
+            assert tuple(rebuilt.events) == tuple(original.events)
+
+    def test_to_trace_round_trip(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        rebuilt = view.to_trace(figure2.tasks)
+        assert rebuilt.tasks == figure2.tasks
+        for original, copy in zip(figure2.periods, rebuilt.periods):
+            assert tuple(copy.events) == tuple(original.events)
+
+    def test_counts_match_object_path(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        assert view.event_count == figure2.event_count()
+        assert view.message_count() == figure2.message_count()
+
+    def test_slice_keeps_original_period_indices(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        window = view[1:3]
+        assert isinstance(window, LazyPeriods)
+        assert len(window) == 2
+        assert [p.index for p in window] == [1, 2]
+
+    def test_negative_index(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        assert view[-1].index == len(figure2) - 1
+
+    def test_out_of_range_raises(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        with pytest.raises(IndexError):
+            view[len(figure2)]
+
+    def test_empty_period_survives(self):
+        periods = (
+            Period([task_start(0.0, "a"), task_end(1.0, "a")], index=0),
+            Period((), index=1),
+            Period([task_start(20.0, "a"), task_end(21.0, "a")], index=2),
+        )
+        view = ColumnarPeriods.from_periods(periods)
+        assert [len(p.events) for p in view] == [2, 0, 2]
+
+    def test_is_lazy_periods_marker(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        assert isinstance(view, LazyPeriods)
+        assert not isinstance(tuple(figure2.periods), LazyPeriods)
+
+
+class TestSubjectInterning:
+    def test_plain_label_appends_to_table(self):
+        table: list[str] = []
+        index_of: dict[str, int] = {}
+        code = encode_subject("brake_ctrl", table, index_of)
+        assert table == ["brake_ctrl"]
+        assert decode_subject(code, table) == "brake_ctrl"
+
+    def test_auto_label_is_tagged_not_interned(self):
+        table: list[str] = []
+        index_of: dict[str, int] = {}
+        code = encode_subject("m42", table, index_of)
+        assert table == []  # bounded table: no entry per auto label
+        assert code & AUTO_LABEL_BIT
+        assert decode_subject(code, table) == "m42"
+
+    def test_m_zero_is_tagged(self):
+        table: list[str] = []
+        assert decode_subject(encode_subject("m0", table, {}), table) == "m0"
+        assert table == []
+
+    def test_leading_zero_label_interned_verbatim(self):
+        # "m01" is not the canonical spelling of 1; tagging it would
+        # decode back as "m1" and corrupt the label.
+        table: list[str] = []
+        index_of: dict[str, int] = {}
+        code = encode_subject("m01", table, index_of)
+        assert table == ["m01"]
+        assert decode_subject(code, table) == "m01"
+
+    def test_reuse_is_stable(self):
+        table: list[str] = []
+        index_of: dict[str, int] = {}
+        first = encode_subject("x", table, index_of)
+        second = encode_subject("x", table, index_of)
+        assert first == second
+        assert table == ["x"]
+
+
+class TestSegmentOffsets:
+    def test_matches_from_events_buckets(self):
+        times = array("d", [0.5, 1.5, 10.5, 11.0, 20.0])
+        first, offsets = segment_offsets(times, 10.0)
+        assert first == 0
+        assert list(offsets) == [0, 2, 4, 5]
+
+    def test_empty_interior_bucket_emitted(self):
+        times = array("d", [0.5, 20.5])
+        first, offsets = segment_offsets(times, 10.0)
+        assert first == 0
+        # buckets 0, 1 (empty), 2 — same rule as Trace.from_events
+        assert list(offsets) == [0, 1, 1, 2]
+
+    def test_leading_offset_is_first_bucket(self):
+        times = array("d", [35.0, 36.0])
+        first, offsets = segment_offsets(times, 10.0)
+        assert first == 3
+        assert list(offsets) == [0, 2]
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(TraceError):
+            segment_offsets(array("d", [1.0, 0.5]), 10.0)
+
+    def test_empty_times(self):
+        first, offsets = segment_offsets(array("d", []), 10.0)
+        assert first == 0
+        assert list(offsets) == [0]
+
+
+class TestTraceFromArrays:
+    def _columns(self, events):
+        from repro.trace.columnar import CODE_BY_KIND
+
+        times = array("d")
+        kinds = array("B")
+        subjects = array("I")
+        table: list[str] = []
+        index_of: dict[str, int] = {}
+        for event in events:
+            times.append(event.time)
+            kinds.append(CODE_BY_KIND[event.kind])
+            subjects.append(encode_subject(event.subject, table, index_of))
+        return times, kinds, subjects, table
+
+    def test_matches_object_path(self):
+        events = [
+            task_start(1.0, "a"),
+            msg_rise(2.0, "m1"),
+            msg_fall(2.5, "m1"),
+            task_end(3.0, "a"),
+            task_start(11.0, "a"),
+            task_end(13.0, "a"),
+        ]
+        reference = Trace.from_events(("a",), events, period_length=10.0)
+        times, kinds, subjects, table = self._columns(events)
+        lazy = trace_from_arrays(("a",), times, kinds, subjects, table, 10.0)
+        assert isinstance(lazy, LazyTrace)
+        assert len(lazy) == len(reference)
+        for built, expected in zip(lazy.periods, reference.periods):
+            assert tuple(built.events) == tuple(expected.events)
+
+    def test_empty_interior_periods_match_object_path(self):
+        events = [
+            task_start(1.0, "a"),
+            task_end(2.0, "a"),
+            task_start(41.0, "a"),
+            task_end(42.0, "a"),
+        ]
+        reference = Trace.from_events(("a",), events, period_length=10.0)
+        times, kinds, subjects, table = self._columns(events)
+        lazy = trace_from_arrays(("a",), times, kinds, subjects, table, 10.0)
+        assert len(lazy) == len(reference) == 5
+        assert [len(p.events) for p in lazy.periods] == [2, 0, 0, 0, 2]
+
+
+class TestLazyTrace:
+    def test_facts_match_eager_trace(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        lazy = LazyTrace(figure2.tasks, view)
+        assert lazy.message_count() == figure2.message_count()
+        assert lazy.event_count() == figure2.event_count()
+        assert lazy.observed_tasks() == figure2.observed_tasks()
+
+    def test_subtrace_stays_lazy(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        lazy = LazyTrace(figure2.tasks, view)
+        head = lazy.subtrace(2)
+        assert isinstance(head, LazyTrace)
+        assert isinstance(head.periods, LazyPeriods)
+        assert len(head) == 2
+
+    def test_duplicate_tasks_rejected(self, figure2):
+        view = ColumnarPeriods.from_trace(figure2)
+        with pytest.raises(TraceError):
+            LazyTrace(("a", "a"), view)

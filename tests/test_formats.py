@@ -150,3 +150,85 @@ class TestStreaming:
         tasks, periods = fmt.stream_periods(buffer)
         assert set(tasks) == set(trace.tasks)
         assert sum(1 for _ in periods) == len(trace)
+
+
+class TestMixedFormatEquivalence:
+    """The same observations, any representation, one model.
+
+    The canonical trace is derived from a candump parse, so its fall
+    times are exactly rise + frame duration — the one representation
+    (canlog) that cannot encode arbitrary falls reproduces it exactly,
+    and every registered format plus the canlog round trip must then
+    learn a byte-identical model JSON.
+    """
+
+    def _canonical_trace(self):
+        from repro.trace.canlog import CanLogConfig, canlog_to_events
+        from repro.trace.trace import Trace
+
+        config = CanLogConfig(task_names={0x01: "t1", 0x02: "t2"})
+        log = []
+        for period in range(6):
+            base = period * 1.0
+            log += [
+                f"({base + 0.000:.6f}) can0 700#01",
+                f"({base + 0.002:.6f}) can0 701#01",
+                f"({base + 0.003:.6f}) can0 123#AABB",
+                f"({base + 0.010:.6f}) can0 700#02",
+                f"({base + 0.012:.6f}) can0 701#02",
+            ]
+        events = canlog_to_events(log, config)
+        return config, log, Trace.from_events(("t1", "t2"), events, 1.0)
+
+    def test_all_formats_learn_identical_model_bytes(self, tmp_path):
+        from repro.analysis.report import dumps_model
+        from repro.core.learner import learn_dependencies
+        from repro.trace.canlog import canlog_to_events
+        from repro.trace.trace import Trace
+
+        config, log, canonical = self._canonical_trace()
+        reference = dumps_model(
+            learn_dependencies(canonical, bound=8).lub()
+        ).encode()
+
+        for name in format_names():
+            fmt = get_format(name)
+            path = str(tmp_path / f"t{fmt.extensions[0]}")
+            fmt.write(canonical, path)
+            loaded = fmt.read(path)
+            model = dumps_model(
+                learn_dependencies(loaded, bound=8).lub()
+            ).encode()
+            assert model == reference, f"format {name!r} diverged"
+
+        # canlog is not a registry format (it is an ingestion adapter),
+        # but the same log must reach the same model bytes.
+        replayed = Trace.from_events(
+            ("t1", "t2"), canlog_to_events(log, config), 1.0
+        )
+        model = dumps_model(
+            learn_dependencies(replayed, bound=8).lub()
+        ).encode()
+        assert model == reference
+
+    def test_store_ingested_from_every_format_agrees(self, tmp_path):
+        from repro.analysis.report import dumps_model
+        from repro.core.learner import learn_dependencies
+        from repro.pipeline.ingest import ingest_to_store
+        from repro.trace.store import open_store
+
+        _config, _log, canonical = self._canonical_trace()
+        reference = dumps_model(
+            learn_dependencies(canonical, bound=8).lub()
+        ).encode()
+        for name in sorted(set(format_names()) - {"store"}):
+            fmt = get_format(name)
+            src = str(tmp_path / f"t{fmt.extensions[0]}")
+            fmt.write(canonical, src)
+            summary = ingest_to_store(src, str(tmp_path / f"{name}.rts"))
+            model = dumps_model(
+                learn_dependencies(
+                    open_store(summary.path).trace(), bound=8
+                ).lub()
+            ).encode()
+            assert model == reference, f"store via {name!r} diverged"

@@ -143,6 +143,62 @@ def test_kernels_identical_across_hash_seeds(tmp_path):
                 )
 
 
+def run_learn_store(workdir: Path, hash_seed: str) -> dict[str, bytes]:
+    """Simulate + ingest into a .rts store + learn from the store.
+
+    The store file itself must be hash-seed independent (the header is
+    compact sorted-keys JSON; the columns are raw little-endian arrays),
+    and so must the model learned from it.
+    """
+    outdir = workdir / f"store-seed{hash_seed}"
+    outdir.mkdir()
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    common = [sys.executable, "-m", "repro.cli"]
+    trace = outdir / "trace.log"
+    store = outdir / "trace.rts"
+    model = outdir / "model.json"
+    subprocess.run(
+        [*common, "simulate", "simple", "--periods", "12", "--seed", "5",
+         "--out", str(trace)],
+        check=True, env=env, capture_output=True,
+    )
+    subprocess.run(
+        [*common, "ingest", str(trace), "-o", str(store)],
+        check=True, env=env, capture_output=True,
+    )
+    info = subprocess.run(
+        [*common, "store-info", str(store), "--json"],
+        check=True, env=env, capture_output=True,
+    )
+    subprocess.run(
+        [*common, "learn", str(store), "--bound", "16", "--quiet",
+         "--model-json", str(model)],
+        check=True, env=env, capture_output=True,
+    )
+    return {
+        "store": store.read_bytes(),
+        "info": info.stdout.replace(str(outdir).encode(), b"<outdir>"),
+        "model": model.read_bytes(),
+    }
+
+
+def test_store_artifacts_identical_across_hash_seeds(tmp_path):
+    baseline = run_learn_store(tmp_path, SEEDS[0])
+    log_model = run_learn(tmp_path, SEEDS[0])["model"]
+    assert baseline["model"] == log_model, (
+        "store-backed learn diverged from the text-log learn"
+    )
+    for seed in SEEDS[1:]:
+        other = run_learn_store(tmp_path, seed)
+        for name, payload in baseline.items():
+            assert other[name] == payload, (
+                f"{name} differs between PYTHONHASHSEED={SEEDS[0]} "
+                f"and PYTHONHASHSEED={seed}"
+            )
+
+
 def test_degraded_run_artifacts_identical_across_hash_seeds(tmp_path):
     """A chaos run that degrades to in-process learning is still
     hash-seed deterministic: same model bytes, same recovery counters."""

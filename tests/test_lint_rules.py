@@ -569,6 +569,78 @@ class TestRL005Anchors:
             assert needed in anchors
 
 
+class TestRL006Columnar:
+    OUTSIDE = "repro.analysis.modes"
+
+    def test_mmap_import_flagged(self):
+        findings = lint(
+            """
+            import mmap
+
+            def window(path):
+                return mmap.mmap(-1, 4096)
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL006")) == 1
+        assert "open_store" in active(findings, "RL006")[0].message
+
+    def test_mmap_from_import_flagged(self):
+        findings = lint(
+            """
+            from mmap import ACCESS_READ
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL006")) == 1
+
+    def test_column_accessor_flagged(self):
+        findings = lint(
+            """
+            def raw_times(periods):
+                return periods.times_view()
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL006")) == 1
+        assert ".times_view" in active(findings, "RL006")[0].message
+
+    def test_subject_interning_flagged(self):
+        findings = lint(
+            """
+            def code_for(label, table, index_of):
+                return encode_subject(label, table, index_of)
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL006")) == 1
+
+    def test_columnar_modules_allowed(self):
+        source = """
+            import mmap
+
+            def window(view):
+                return view.offsets_view()
+            """
+        for module in ("repro.trace.store", "repro.trace.columnar"):
+            findings = lint(source, module=module)
+            assert active(findings, "RL006") == []
+
+    def test_period_iteration_clean(self):
+        findings = lint(
+            """
+            def message_times(store_trace):
+                return [
+                    event.time
+                    for period in store_trace.periods
+                    for event in period.events
+                ]
+            """,
+            module=self.OUTSIDE,
+        )
+        assert active(findings, "RL006") == []
+
+
 class TestSuppressionScanner:
     def test_same_line_and_next_line(self):
         index = scan_suppressions(
@@ -616,9 +688,11 @@ class TestEngine:
         files = discover_files([tmp_path])
         assert [f.name for f in files] == ["a.py"]
 
-    def test_registry_has_all_five_rules(self):
+    def test_registry_has_all_six_rules(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert codes == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        ]
 
     def test_report_json_round_trip(self, tmp_path):
         bad = tmp_path / "bad.py"
@@ -686,7 +760,9 @@ class TestCli:
     def test_list_rules_names_all_codes(self):
         code, output = self.run("--list-rules")
         assert code == 0
-        for rule_code in ["RL001", "RL002", "RL003", "RL004", "RL005"]:
+        for rule_code in [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        ]:
             assert rule_code in output
 
     def test_quiet_prints_summary_only(self):

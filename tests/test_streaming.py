@@ -169,3 +169,30 @@ class TestStreamLearnFormats:
         explicit = stream_learn(log_stream(), bound=4, format="text")
         default = stream_learn(log_stream(), bound=4)
         assert explicit.lub() == default.lub()
+
+    def test_path_source_infers_format_from_extension(self, tmp_path):
+        from repro.trace.formats import get_format
+
+        path = str(tmp_path / "t.log")
+        get_format("text").write(paper_figure2_trace(), path)
+        from_path = stream_learn(path, bound=4)
+        from_stream = stream_learn(log_stream(), bound=4)
+        assert from_path.lub() == from_stream.lub()
+
+
+class TestStreamLearnKernel:
+    """stream_learn threads kernel= through to make_learner."""
+
+    def test_default_kernel_is_batch_with_numpy(self):
+        pytest.importorskip("numpy")
+        result = stream_learn(log_stream(), bound=4)
+        assert result.kernel == "batch"
+
+    def test_explicit_loop_kernel(self):
+        result = stream_learn(log_stream(), bound=4, kernel="loop")
+        assert result.kernel == "loop"
+
+    def test_kernels_agree(self):
+        loop = stream_learn(log_stream(), bound=4, kernel="loop")
+        auto = stream_learn(log_stream(), bound=4)
+        assert loop.lub() == auto.lub()

@@ -69,6 +69,29 @@ class TestSegmentation:
         trace = Trace.from_events(("a",), [], period_length=5.0)
         assert len(trace) == 0
 
+    def test_from_events_keeps_empty_interior_periods(self):
+        # Regression: interior periods with no events used to be silently
+        # compacted away, shifting every later period's index and
+        # misaligning the trace with wall-clock time.
+        events = [
+            task_start(0.0, "a"),
+            task_end(1.0, "a"),
+            task_start(30.0, "a"),
+            task_end(31.0, "a"),
+        ]
+        trace = Trace.from_events(("a",), events, period_length=10.0)
+        assert len(trace) == 4
+        assert [p.executed("a") for p in trace] == [True, False, False, True]
+        assert [p.index for p in trace] == [0, 1, 2, 3]
+
+    def test_from_events_drops_leading_and_trailing_emptiness(self):
+        # The observed range still defines the trace: segmentation starts
+        # at the first event's bucket and ends at the last one's.
+        events = [task_start(25.0, "a"), task_end(26.0, "a")]
+        trace = Trace.from_events(("a",), events, period_length=10.0)
+        assert len(trace) == 1
+        assert trace[0].index == 0
+
     def test_from_events_rejects_bad_length(self):
         with pytest.raises(TraceError):
             Trace.from_events(("a",), [], period_length=0.0)
