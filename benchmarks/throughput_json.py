@@ -12,15 +12,24 @@ replaying the extension cells recorded from a real GM learn) and
     python benchmarks/throughput_json.py              # regenerate baseline
     python benchmarks/throughput_json.py --check      # soft regression gate
 
+A ``learner_distributed`` entry measures the same bounded learn driven
+through two localhost ``repro worker`` daemons over TCP — its model is
+asserted bit-identical to the local sharded learn before timing, and
+the entry records the wire tallies (tasks sent, bytes both ways).
+
 ``--check`` compares a fresh measurement against the committed baseline
 and exits non-zero if bounded-learner or store-ingest throughput dropped
 by more than 20%, if the batch kernel fell under 2x the loop kernel on
 recorded cells, if the batch learner regressed the loop learner end to
-end, or if a store-backed (mmap) learn runs more than 10% slower than
-the in-memory learn (``learner_store`` parity).
+end, if a store-backed (mmap) learn runs more than 10% slower than
+the in-memory learn (``learner_store`` parity), or if the distributed
+learn falls below 1.5x the sequential learner.
 On machines with fewer than 4 CPUs (or under ``REPRO_BENCH_SMOKE=1``) the
-gate is skipped — shared CI runners below that size are too noisy to gate
-on — so CI's smoke job can call ``--check`` unconditionally.
+gates are skipped — shared CI runners below that size are too noisy to
+gate on (and a 1-CPU box cannot show a parallel speedup at all) — so
+CI's smoke job can call ``--check`` unconditionally. Skipped gates are
+not silent: every skip lands in the ``gates_skipped`` list of the JSON
+with its reason, so a baseline regenerated on a small machine says so.
 
 The JSON stores ops/sec (periods simulated, traces learned, periods
 ingested per second), per-benchmark seconds, and the environment facts
@@ -79,6 +88,16 @@ BATCH_OP_BOUND = 64
 #: in-memory learn that passes --check: lazily materializing periods
 #: from the mmap must cost no more than 10% end to end.
 STORE_PARITY_TOLERANCE = 0.10
+
+#: Minimum end-to-end speedup of the 2-daemon distributed learn over
+#: the sequential learner that passes --check. Only enforced on
+#: machines with at least MIN_CPUS_FOR_GATE CPUs — below that the
+#: daemons share one core with the coordinator and a parallel speedup
+#: is physically impossible; the skip is recorded in gates_skipped.
+MIN_DISTRIBUTED_SPEEDUP = 1.5
+
+#: Localhost worker daemons behind the learner_distributed entry.
+DISTRIBUTED_DAEMONS = 2
 
 
 def _best_seconds(call, repeats: int = 3) -> float:
@@ -170,6 +189,104 @@ def measure_kernel_ops(trace, bound: int, repeats: int) -> dict:
     }
 
 
+def _free_port() -> int:
+    import socket
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _spawn_worker(address: str) -> "subprocess.Popen":
+    import subprocess
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env.pop("REPRO_CHAOS", None)
+    return subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "worker", address, "--parallelism", "1", "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def measure_distributed(learn_trace, learner_seconds: float,
+                        repeats: int) -> dict:
+    """End-to-end distributed learn over localhost worker daemons.
+
+    Spawns :data:`DISTRIBUTED_DAEMONS` real ``repro worker`` processes,
+    coordinates them through :class:`repro.distributed.TcpShardExecutor`
+    and times ``learn_dependencies(..., workers=2)`` against them. The
+    distributed model is asserted bit-identical to the local sharded
+    learn before any timing — a fast wrong runtime is worthless.
+    """
+    from repro.core.learner import learn_dependencies
+    from repro.distributed import TcpExecutorFactory
+
+    address = f"tcp://127.0.0.1:{_free_port()}"
+    factory = TcpExecutorFactory(
+        address, workers=DISTRIBUTED_DAEMONS, connect_timeout=60.0
+    )
+    procs = [_spawn_worker(address) for _ in range(DISTRIBUTED_DAEMONS)]
+    try:
+        local = learn_dependencies(learn_trace, bound=LEARNER_BOUND, workers=2)
+        remote = learn_dependencies(
+            learn_trace, bound=LEARNER_BOUND, workers=2,
+            executor_factory=factory,
+        )
+        if (
+            [h.pairs for h in remote.hypotheses]
+            != [h.pairs for h in local.hypotheses]
+            or remote.functions != local.functions
+            or remote.lub() != local.lub()
+        ):
+            raise RuntimeError(
+                "distributed learn diverged from the local sharded learn "
+                "on the gm workload; refusing to benchmark a wrong runtime"
+            )
+        distributed_seconds = _best_seconds(
+            lambda: learn_dependencies(
+                learn_trace, bound=LEARNER_BOUND, workers=2,
+                executor_factory=factory,
+            ),
+            repeats,
+        )
+    finally:
+        factory.close()
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait(timeout=10.0)
+    counters = factory.counters
+    return {
+        "seconds": distributed_seconds,
+        "ops_per_second": 1.0 / distributed_seconds,
+        "unit": "traces/s",
+        "workload": (
+            f"gm subtrace({len(learn_trace.periods)}), "
+            f"bound={LEARNER_BOUND}, workers=2 over "
+            f"{DISTRIBUTED_DAEMONS} localhost repro-worker daemons (TCP)"
+        ),
+        "speedup_vs_sequential": learner_seconds / distributed_seconds,
+        "daemons": DISTRIBUTED_DAEMONS,
+        "wire": {
+            "tasks_sent": counters.wire_tasks_sent,
+            "results": counters.wire_results,
+            "bytes_sent": counters.wire_bytes_sent,
+            "bytes_received": counters.wire_bytes_received,
+            "worker_connects": counters.worker_connects,
+        },
+    }
+
+
 def measure_throughput(smoke: bool = False) -> dict:
     """Fresh ops/sec measurements for the three throughput pipelines."""
     workload = gm_workload(periods=8) if smoke else gm_workload()
@@ -242,6 +359,10 @@ def measure_throughput(smoke: bool = False) -> dict:
             "speedup_vs_loop": learner_seconds / batch_learner_seconds,
         }
 
+    distributed_entry = measure_distributed(
+        learn_trace, learner_seconds, repeats
+    )
+
     return {
         "benchmarks": {
             "simulator_gm": {
@@ -297,6 +418,7 @@ def measure_throughput(smoke: bool = False) -> dict:
                     learner_seconds / store_learner_seconds
                 ),
             },
+            "learner_distributed": distributed_entry,
             **batch_entries,
         },
         "environment": {
@@ -357,7 +479,44 @@ def check_regression(current: dict, baseline: dict) -> list[str]:
                 f"regresses the loop learner by more than "
                 f"{REGRESSION_TOLERANCE:.0%}"
             )
+    distributed = current["benchmarks"].get("learner_distributed")
+    if distributed is not None:
+        speedup = distributed["speedup_vs_sequential"]
+        if speedup < MIN_DISTRIBUTED_SPEEDUP:
+            failures.append(
+                f"learner_distributed: {speedup:.2f}x over the sequential "
+                f"learner is below the {MIN_DISTRIBUTED_SPEEDUP:.1f}x floor"
+            )
     return failures
+
+
+def gate_skips(cpus: int, smoke: bool) -> list[dict]:
+    """Which --check gates do not apply on this machine, and why.
+
+    Always recorded in the measurement JSON (empty when every gate
+    applies), so a baseline regenerated on a laptop or a 1-CPU CI
+    runner carries an explicit record of what was *not* enforced
+    instead of silently looking like a fully-gated run.
+    """
+    if smoke:
+        reason = "smoke run (REPRO_BENCH_SMOKE=1): workload too small to gate"
+    elif cpus < MIN_CPUS_FOR_GATE:
+        reason = (
+            f"cpus={cpus} below the {MIN_CPUS_FOR_GATE}-cpu floor: "
+            "measurement too noisy to gate on"
+        )
+    else:
+        return []
+    return [
+        {"gate": "throughput_regression", "reason": reason},
+        {
+            "gate": "learner_distributed_speedup",
+            "reason": reason + (
+                "" if smoke else
+                "; a parallel speedup needs real cores"
+            ),
+        },
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -374,7 +533,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    cpus = os.cpu_count() or 1
     current = measure_throughput(smoke=smoke)
+    current["gates_skipped"] = gate_skips(cpus, smoke)
 
     for name, row in current["benchmarks"].items():
         print(
@@ -389,12 +550,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline written to {args.out}")
         return 0
 
-    cpus = os.cpu_count() or 1
-    if smoke or cpus < MIN_CPUS_FOR_GATE:
-        print(
-            f"regression gate skipped (cpus={cpus}, smoke={smoke}): "
-            "measurement too noisy to gate on"
-        )
+    if current["gates_skipped"]:
+        for skip in current["gates_skipped"]:
+            print(f"gate skipped: {skip['gate']}: {skip['reason']}")
         return 0
     try:
         with open(args.out, "r", encoding="utf-8") as stream:

@@ -26,7 +26,7 @@ from repro.core.exact import ExactLearner, learn_exact
 from repro.core.heuristic import BoundedLearner, learn_bounded
 from repro.core.result import LearningResult
 from repro.core.sharded import learn_bounded_sharded, require_shardable
-from repro.core.shardexec import ShardPolicy
+from repro.core.shardexec import ShardExecutorFactory, ShardPolicy
 from repro.trace.trace import Trace
 
 
@@ -38,6 +38,7 @@ def learn_dependencies(
     workers: int = 1,
     shard_policy: ShardPolicy | None = None,
     kernel: str = "auto",
+    executor_factory: "ShardExecutorFactory | None" = None,
 ) -> LearningResult:
     """Learn the most-specific dependency hypotheses from *trace*.
 
@@ -71,6 +72,12 @@ def learn_dependencies(
         :mod:`repro.core.batch`), or ``"auto"`` (the default — batch
         when numpy is importable). The backends learn bit-for-bit
         identical models; the choice is purely a throughput knob.
+    executor_factory:
+        Execution substrate for the sharded path (``workers > 1``):
+        ``None`` uses local process pools; a
+        :class:`repro.distributed.TcpExecutorFactory` dispatches shards
+        to remote ``repro worker`` daemons instead. Either way the
+        model is bit-identical — only where the shards run changes.
 
     Returns
     -------
@@ -86,7 +93,7 @@ def learn_dependencies(
     if workers > 1:
         return learn_bounded_sharded(
             trace, bound, tolerance, workers, policy=shard_policy,
-            kernel=resolved,
+            kernel=resolved, executor_factory=executor_factory,
         )
     if resolved == "batch":
         return learn_bounded_batch(trace, bound, tolerance)

@@ -63,7 +63,12 @@ from repro.core.hypothesis import Hypothesis
 from repro.core.instrumentation import HotLoopCounters, hot_loop
 from repro.core.interning import TaskTable
 from repro.core.result import LearningResult
-from repro.core.shardexec import ShardPolicy, ShardRuntime, apply_chaos
+from repro.core.shardexec import (
+    ShardExecutorFactory,
+    ShardPolicy,
+    ShardRuntime,
+    apply_chaos,
+)
 from repro.core.stats import CoExecutionStats
 from repro.errors import LearningError
 from repro.trace.period import Period
@@ -240,6 +245,7 @@ def learn_bounded_sharded(
     workers: int = 2,
     policy: ShardPolicy | None = None,
     kernel: str = "loop",
+    executor_factory: "ShardExecutorFactory | None" = None,
 ) -> LearningResult:
     """Learn *trace* across *workers* period shards and LUB-merge.
 
@@ -266,6 +272,13 @@ def learn_bounded_sharded(
     (``"loop"`` or ``"batch"`` — resolve ``"auto"`` with
     :func:`repro.core.batch.resolve_kernel` before calling): the two are
     bit-for-bit identical per shard, so the merged LUB is too.
+
+    *executor_factory* plugs a different execution substrate into the
+    runtime (see :class:`~repro.core.shardexec.ShardExecutorFactory`);
+    ``None`` keeps the local process pool. The distributed scheduler
+    passes a :class:`repro.distributed.TcpExecutorFactory` here — note
+    that a one-shard learn (``workers=1`` or a tiny trace) still runs
+    in-process, factory or not, because there is nothing to schedule.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -293,6 +306,7 @@ def learn_bounded_sharded(
             fallback=(
                 _learn_shard_fallback_batch if batch else _learn_shard_fallback
             ),
+            executor_factory=executor_factory,
         )
         outcomes = runtime.run(shards)
     result = merge_outcomes(

@@ -7,4 +7,5 @@ from repro.devtools.lint.rules import (  # noqa: F401
     rl004_pickle,
     rl005_anchors,
     rl006_columnar,
+    rl007_wire,
 )

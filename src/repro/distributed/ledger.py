@@ -1,0 +1,88 @@
+"""Result-delivery bookkeeping: exactly-once admission, reorder tally.
+
+The coordinator may dispatch one task several times — work stealing
+re-dispatches a task whose owner sits on it, and chaos ``duplicate``
+makes a worker send the same result frame twice. The LUB merge under
+sharded learning is commutative and associative, so *order* of results
+never matters; what must hold is that exactly **one** outcome per task
+reaches :class:`~repro.core.shardexec.ShardRuntime` — shard statistics
+are per-period sums, and merging a duplicate would double-count them
+and break bit-identity with the sequential learner.
+
+:class:`ResultLedger` is that invariant, factored out of the socket
+code so ``tests/property/test_merge_order_props.py`` can drive it with
+hypothesis-style delivery schedules (duplicated, reordered, interleaved
+across workers) and assert the admitted set is always exactly one
+outcome per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """The ledger's verdict on one received result frame.
+
+    ``fresh`` — first completed delivery for its task; the caller must
+    resolve the task's future with it. A non-fresh delivery is a
+    duplicate and must be discarded unmerged.
+
+    ``reordered`` — this worker delivered a result for a dispatch
+    *earlier* than one it already answered; harmless (the merge is
+    order-free) but counted as ``wire_reorders``.
+    """
+
+    fresh: bool
+    reordered: bool
+
+
+class ResultLedger:
+    """Admit each task's result exactly once; notice per-worker reorders.
+
+    Dedupe is global (a stolen task finishing on two workers is still
+    one task); reorder detection is per worker, against that worker's
+    own dispatch sequence numbers — cross-worker interleaving is not a
+    reorder, it is ordinary parallelism.
+    """
+
+    def __init__(self) -> None:
+        self._completed: set[int] = set()
+        self._high_seq: dict[str, int] = {}
+
+    def admit(self, task_id: int, worker: str, seq: int) -> Delivery:
+        """Judge one delivery of *task_id* by *worker* at dispatch *seq*."""
+        high = self._high_seq.get(worker, -1)
+        reordered = seq < high
+        if seq > high:
+            self._high_seq[worker] = seq
+        fresh = task_id not in self._completed
+        if fresh:
+            self._completed.add(task_id)
+        return Delivery(fresh=fresh, reordered=reordered)
+
+    def completed(self, task_id: int) -> bool:
+        """Has *task_id* already been admitted?"""
+        return task_id in self._completed
+
+    def reset_sequences(self) -> None:
+        """Start every worker's dispatch sequence over (epoch reset).
+
+        The completed set survives on purpose: task ids are globally
+        unique and never reused, so a chaos-duplicated frame that
+        straggles in after a reset is still recognizably a duplicate.
+        """
+        self._high_seq.clear()
+
+    def forget_worker(self, worker: str) -> None:
+        """Drop a worker's sequence history (it disconnected).
+
+        A reconnecting worker starts a fresh dispatch sequence; stale
+        high-water marks would misreport its first deliveries as
+        reorders.
+        """
+        self._high_seq.pop(worker, None)
+
+
+__all__ = ["Delivery", "ResultLedger"]

@@ -36,7 +36,13 @@ class Period:
     __slots__ = ("_events", "_executions", "_messages", "_task_set", "index")
 
     def __init__(self, events: Iterable[Event], index: int = 0):
-        self._events: tuple[Event, ...] = tuple(sorted(events))
+        # Key-based sort: one _sort_key call per event instead of two
+        # per comparison through Event.__lt__ — periods are built once
+        # per ingest, and for already-ordered streams this is the whole
+        # O(n) pass.
+        self._events: tuple[Event, ...] = tuple(
+            sorted(events, key=Event._sort_key)
+        )
         self.index = index
         self._executions = self._pair_task_events(self._events)
         self._messages = self._pair_message_events(self._events)

@@ -457,6 +457,25 @@ def open_store(path: str) -> TraceStore:
     return store
 
 
+def close_all_stores() -> int:
+    """Close and evict every cached store; returns how many were open.
+
+    Long-lived processes that serve many learns — the ``repro worker``
+    daemon above all — accumulate entries in the process-wide cache as
+    they unpickle :class:`StorePeriodRange` handles; each entry pins a
+    file descriptor and an mmap view. Call this on shutdown (the worker
+    daemon does) or between sessions to release them. Closing is safe
+    at any point: a later :func:`open_store` transparently reopens.
+    """
+    count = 0
+    for store in list(_OPEN_STORES.values()):
+        if not store.closed:
+            count += 1
+            store.close()
+    _OPEN_STORES.clear()
+    return count
+
+
 def _reopen_range(path: str, start: int, stop: int) -> "StorePeriodRange":
     """Unpickle target: rebuild a range from its (path, start, stop)."""
     return open_store(path).periods(start, stop)
@@ -570,6 +589,7 @@ __all__ = [
     "StoreTrace",
     "TraceStore",
     "TraceStoreWriter",
+    "close_all_stores",
     "open_store",
     "read_store",
     "stream_store",

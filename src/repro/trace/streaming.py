@@ -25,6 +25,12 @@ from repro.trace.period import Period
 
 _KINDS = {kind.value: kind for kind in EventKind}
 
+#: Hot-path lookup for :func:`iter_periods`: one dict probe resolves
+#: both the kind and whether its subject must be a known task.
+_KIND_INFO = {
+    kind.value: (kind, kind.is_task_event) for kind in EventKind
+}
+
 
 @dataclass(frozen=True)
 class StreamHeader:
@@ -67,14 +73,20 @@ def iter_periods(stream: TextIO, header: StreamHeader) -> Iterator[Period]:
     rejected here, with the offending line, rather than surfacing later as
     a bare ``ValueError`` deep inside the learner's statistics update.
     """
+    # This loop runs once per line of a log that may span hours of
+    # trace, so it is written for the common case: split the raw line
+    # exactly once (``str.split`` with no argument already discards the
+    # surrounding whitespace a separate ``strip`` would) and resolve
+    # the event kind and its task-universe obligation with one dict
+    # probe through the hoisted lookup.
     known_tasks = frozenset(header.tasks)
+    kind_info = _KIND_INFO
     current: list[Event] | None = None
     index = 0
     for line_number, raw in enumerate(stream, start=header.line_offset + 1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
+        fields = raw.split()
+        if not fields or fields[0][0] == "#":
             continue
-        fields = line.split()
         if fields[0] == "period":
             if current is not None:
                 yield Period(current, index=index)
@@ -87,16 +99,17 @@ def iter_periods(stream: TextIO, header: StreamHeader) -> Iterator[Period]:
             )
         if len(fields) != 3:
             raise TraceParseError(
-                f"expected '<time> <kind> <subject>', got {line!r}",
+                f"expected '<time> <kind> <subject>', got {raw.strip()!r}",
                 line_number,
             )
         time_text, kind_text, subject = fields
-        kind = _KINDS.get(kind_text)
-        if kind is None:
+        info = kind_info.get(kind_text)
+        if info is None:
             raise TraceParseError(
                 f"unknown event kind: {kind_text!r}", line_number
             )
-        if kind.is_task_event and subject not in known_tasks:
+        kind, needs_known_task = info
+        if needs_known_task and subject not in known_tasks:
             raise TraceParseError(
                 f"unknown task {subject!r}: not in the tasks header "
                 f"({', '.join(header.tasks)})",

@@ -641,6 +641,69 @@ class TestRL006Columnar:
         assert active(findings, "RL006") == []
 
 
+class TestRL007WireFraming:
+    OUTSIDE = "repro.core.sharded"
+
+    def test_framing_module_import_flagged(self):
+        findings = lint(
+            """
+            from repro.distributed.framing import encode_frame
+
+            def ship(payload):
+                return encode_frame(payload)
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL007")) == 1
+        assert "framing module" in active(findings, "RL007")[0].message
+
+    def test_reexported_framing_name_flagged(self):
+        findings = lint(
+            """
+            from repro.distributed import decode_frame
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL007")) == 1
+        assert "decode_frame" in active(findings, "RL007")[0].message
+
+    def test_homegrown_pickle_over_socket_flagged(self):
+        findings = lint(
+            """
+            import pickle
+            import socket
+
+            def push(sock, payload):
+                sock.sendall(pickle.dumps(payload))
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL007")) == 1
+        assert "second framing layer" in active(findings, "RL007")[0].message
+
+    def test_coordinator_api_import_clean(self):
+        findings = lint(
+            """
+            from repro.distributed import TcpExecutorFactory
+
+            def make_factory(address, workers):
+                return TcpExecutorFactory(address, workers=workers)
+            """,
+            module=self.OUTSIDE,
+        )
+        assert active(findings, "RL007") == []
+
+    def test_distributed_modules_allowed(self):
+        source = """
+            import pickle
+            import socket
+            from repro.distributed.framing import send_frame
+            """
+        for module in ("repro.distributed.worker", "repro.distributed"):
+            findings = lint(source, module=module)
+            assert active(findings, "RL007") == []
+
+
 class TestSuppressionScanner:
     def test_same_line_and_next_line(self):
         index = scan_suppressions(
@@ -688,10 +751,10 @@ class TestEngine:
         files = discover_files([tmp_path])
         assert [f.name for f in files] == ["a.py"]
 
-    def test_registry_has_all_six_rules(self):
+    def test_registry_has_all_seven_rules(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == [
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
         ]
 
     def test_report_json_round_trip(self, tmp_path):
@@ -761,7 +824,7 @@ class TestCli:
         code, output = self.run("--list-rules")
         assert code == 0
         for rule_code in [
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
         ]:
             assert rule_code in output
 
