@@ -17,6 +17,14 @@ through two localhost ``repro worker`` daemons over TCP — its model is
 asserted bit-identical to the local sharded learn before timing, and
 the entry records the wire tallies (tasks sent, bytes both ways).
 
+A ``service_sessions`` entry measures the asyncio session daemon
+(``repro serve``) under a storm of concurrent streaming clients: the
+single-stream floor and the aggregate periods/s across 100 concurrent
+sessions, with every per-session model asserted bit-identical to the
+batch learner before timing. The aggregate must stay at or above 100x
+the single-stream floor on gated machines (the floor is round-trip
+latency the daemon is supposed to overlap).
+
 ``--check`` compares a fresh measurement against the committed baseline
 and exits non-zero if bounded-learner or store-ingest throughput dropped
 by more than 20%, if the batch kernel fell under 2x the loop kernel on
@@ -98,6 +106,19 @@ MIN_DISTRIBUTED_SPEEDUP = 1.5
 
 #: Localhost worker daemons behind the learner_distributed entry.
 DISTRIBUTED_DAEMONS = 2
+
+#: Concurrent streaming sessions behind the service_sessions entry.
+SERVICE_SESSIONS = 100
+#: Periods per append frame when the bench clients stream.
+SERVICE_BATCH = 4
+#: Learner bound for the per-session incremental learners.
+SERVICE_BOUND = 8
+#: Minimum aggregate throughput of the session storm, as a multiple of
+#: the single-stream floor, that passes --check. Only enforced on
+#: machines with at least MIN_CPUS_FOR_GATE CPUs — the floor is
+#: round-trip latency the daemon overlaps across sessions, and a 1-CPU
+#: box serializes everything; the skip is recorded in gates_skipped.
+MIN_SERVICE_AGGREGATE_SPEEDUP = 100.0
 
 
 def _best_seconds(call, repeats: int = 3) -> float:
@@ -287,6 +308,101 @@ def measure_distributed(learn_trace, learner_seconds: float,
     }
 
 
+def measure_service_sessions(smoke: bool, repeats: int) -> dict:
+    """Throughput of the asyncio session daemon under a client storm.
+
+    One in-process daemon; every client streams the same synthetic
+    trace into its own session. The per-session model is asserted
+    bit-identical to the batch learner *before* any timing: a fast
+    wrong service would be a worse benchmark than no benchmark. Two
+    figures are taken — the single-stream floor (one client, one
+    session, end to end) and the aggregate of ``SERVICE_SESSIONS``
+    concurrent sessions — and the ratio records how much of the
+    per-session round-trip latency the daemon overlaps.
+    """
+    import threading
+
+    from repro.analysis.report import dumps_model
+    from repro.core.learner import learn_dependencies
+    from repro.service import ServiceClient, ServiceThread, SessionPolicy
+    from repro.trace.synthetic import serial_chain_trace
+
+    session_count = 8 if smoke else SERVICE_SESSIONS
+    trace = serial_chain_trace(3, 12)
+    reference = dumps_model(
+        learn_dependencies(trace, bound=SERVICE_BOUND).lub()
+    )
+
+    thread = ServiceThread(
+        SessionPolicy(max_live=session_count + 8, feed_threads=4)
+    )
+    try:
+        def stream_one(session_id: str) -> str:
+            client = ServiceClient(thread.address, name=session_id)
+            client.connect()
+            client.open_session(session_id, trace.tasks, bound=SERVICE_BOUND)
+            for start in range(0, len(trace.periods), SERVICE_BATCH):
+                client.append_periods(
+                    trace.periods[start:start + SERVICE_BATCH]
+                )
+            closed = client.close_session()
+            client.close()
+            return closed["model_json"]
+
+        if stream_one("probe") != reference:
+            raise RuntimeError(
+                "streamed session model diverged from the batch learner; "
+                "refusing to benchmark a wrong service"
+            )
+
+        floor_seconds = _best_seconds(
+            lambda: stream_one("floor"), repeats
+        )
+        floor_pps = len(trace.periods) / floor_seconds
+
+        def storm() -> None:
+            failures: list[str] = []
+
+            def drive(index: int) -> None:
+                try:
+                    if stream_one(f"storm{index}") != reference:
+                        failures.append(f"storm{index}: model diverged")
+                except Exception as error:  # noqa: BLE001 - reported below
+                    failures.append(f"storm{index}: {error!r}")
+
+            drivers = [
+                threading.Thread(target=drive, args=(index,))
+                for index in range(session_count)
+            ]
+            for driver in drivers:
+                driver.start()
+            for driver in drivers:
+                driver.join()
+            if failures:
+                raise RuntimeError(
+                    "session storm failed: " + "; ".join(sorted(failures))
+                )
+
+        aggregate_seconds = _best_seconds(storm, repeats)
+    finally:
+        thread.stop()
+    total_periods = session_count * len(trace.periods)
+    aggregate_pps = total_periods / aggregate_seconds
+    return {
+        "seconds": aggregate_seconds,
+        "ops_per_second": aggregate_pps,
+        "unit": "periods/s",
+        "workload": (
+            f"{session_count} concurrent streaming sessions x "
+            f"{len(trace.periods)} periods, bound={SERVICE_BOUND}, "
+            f"one asyncio daemon (TCP)"
+        ),
+        "sessions": session_count,
+        "single_stream_floor_pps": floor_pps,
+        "aggregate_speedup_vs_floor": aggregate_pps / floor_pps,
+    }
+
+
 def measure_throughput(smoke: bool = False) -> dict:
     """Fresh ops/sec measurements for the three throughput pipelines."""
     workload = gm_workload(periods=8) if smoke else gm_workload()
@@ -362,6 +478,7 @@ def measure_throughput(smoke: bool = False) -> dict:
     distributed_entry = measure_distributed(
         learn_trace, learner_seconds, repeats
     )
+    service_entry = measure_service_sessions(smoke, repeats)
 
     return {
         "benchmarks": {
@@ -419,6 +536,7 @@ def measure_throughput(smoke: bool = False) -> dict:
                 ),
             },
             "learner_distributed": distributed_entry,
+            "service_sessions": service_entry,
             **batch_entries,
         },
         "environment": {
@@ -487,6 +605,15 @@ def check_regression(current: dict, baseline: dict) -> list[str]:
                 f"learner_distributed: {speedup:.2f}x over the sequential "
                 f"learner is below the {MIN_DISTRIBUTED_SPEEDUP:.1f}x floor"
             )
+    service = current["benchmarks"].get("service_sessions")
+    if service is not None:
+        speedup = service["aggregate_speedup_vs_floor"]
+        if speedup < MIN_SERVICE_AGGREGATE_SPEEDUP:
+            failures.append(
+                f"service_sessions: {speedup:.1f}x of the single-stream "
+                f"floor across {service['sessions']} sessions is below "
+                f"the {MIN_SERVICE_AGGREGATE_SPEEDUP:.0f}x aggregate floor"
+            )
     return failures
 
 
@@ -514,6 +641,13 @@ def gate_skips(cpus: int, smoke: bool) -> list[dict]:
             "reason": reason + (
                 "" if smoke else
                 "; a parallel speedup needs real cores"
+            ),
+        },
+        {
+            "gate": "service_sessions_aggregate",
+            "reason": reason + (
+                "" if smoke else
+                "; overlapping 100 sessions needs real cores"
             ),
         },
     ]

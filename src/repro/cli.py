@@ -199,6 +199,43 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-session log lines")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming session service: live learners fed "
+        "over TCP by many concurrent clients",
+    )
+    serve.add_argument("address", metavar="tcp://HOST:PORT",
+                       help="address to listen on (port 0 picks a free "
+                       "port and logs it)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="per-session ingest queue bound; a full queue "
+                       "pushes back on the client's socket (default: 8)")
+    serve.add_argument("--max-live", type=int, default=64,
+                       help="live learners before LRU eviction spools "
+                       "idle sessions (default: 64)")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="feed retries per period before the degrade "
+                       "mode applies (default: 1)")
+    serve.add_argument("--degrade", choices=("reject", "close"),
+                       default="reject",
+                       help="after exhausted retries: reject the append "
+                       "and keep the session, or close it (default: "
+                       "reject)")
+    serve.add_argument("--feed-threads", type=int, default=4,
+                       help="threads feeding learners across sessions "
+                       "(default: 4)")
+    serve.add_argument("--spool-dir", default=None,
+                       help="directory for eviction checkpoints (default: "
+                       "a private temporary directory)")
+    serve.add_argument("--name", default=None,
+                       help="server name in replies and logs "
+                       "(default: hostname-pid)")
+    serve.add_argument("--profile-json", default=None, metavar="PATH",
+                       help="write the daemon's aggregate profile here "
+                       "on exit")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-session log lines")
+
     monitor = sub.add_parser(
         "monitor", help="check a trace against a saved model (drift)"
     )
@@ -421,6 +458,32 @@ def _cmd_worker(args: argparse.Namespace, out: TextIO) -> int:
     )
 
 
+def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.service import SessionPolicy, serve_service
+
+    policy = SessionPolicy(
+        queue_depth=args.queue_depth,
+        max_live=args.max_live,
+        retries=args.retries,
+        degrade=args.degrade,
+        feed_threads=args.feed_threads,
+        spool_dir=args.spool_dir,
+    )
+
+    def log(line: str) -> None:
+        if not args.quiet:
+            out.write(f"serve: {line}\n")
+            out.flush()
+
+    return serve_service(
+        args.address,
+        policy=policy,
+        name=args.name,
+        log=log,
+        profile_json=args.profile_json,
+    )
+
+
 def _cmd_monitor(args: argparse.Namespace, out: TextIO) -> int:
     run = run_pipeline(PipelineConfig(
         source=args.trace,
@@ -477,6 +540,7 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
         "store-info": _cmd_store_info,
         "learn": _cmd_learn,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
         "monitor": _cmd_monitor,
         "analyze": _cmd_analyze,
         "coverage": _cmd_coverage,

@@ -128,6 +128,37 @@ class HotLoopCounters:
         their outstanding tasks are requeued.
     dead_workers:
         Workers declared dead after missing the heartbeat deadline.
+    sessions_opened:
+        Streaming sessions created by the service daemon
+        (:mod:`repro.service`); resumes are counted separately.
+    sessions_resumed:
+        Sessions brought back live from a spooled checkpoint (an
+        ``open`` of an evicted session).
+    sessions_evicted:
+        Sessions checkpointed to the spool and dropped from memory
+        (LRU pressure or an explicit ``evict`` op).
+    sessions_closed:
+        Sessions ended by a ``close`` op (their learner counters are
+        folded into the daemon aggregate at that moment).
+    sessions_failed:
+        Sessions torn down by the degrade policy after exhausting feed
+        retries (``SessionPolicy.degrade == "close"``).
+    session_appends:
+        Append/events frames admitted into session queues (duplicates
+        excluded).
+    session_duplicates:
+        Frames discarded by the exactly-once sequence ledger (a client
+        re-sent an already-acked frame after reconnecting).
+    session_feed_errors:
+        Feed attempts that raised and were rolled back by the learner's
+        all-or-nothing ``feed`` envelope.
+    session_feed_retries:
+        Deterministic re-feeds charged after such an error
+        (``SessionPolicy.retries``).
+    session_queue_peak:
+        Highest number of ops co-queued in any one session's bounded
+        ingest queue (a max, like ``candidates_max``; bounded above by
+        ``SessionPolicy.queue_depth``).
     """
 
     periods: int = 0
@@ -164,6 +195,16 @@ class HotLoopCounters:
     worker_connects: int = 0
     worker_disconnects: int = 0
     dead_workers: int = 0
+    sessions_opened: int = 0
+    sessions_resumed: int = 0
+    sessions_evicted: int = 0
+    sessions_closed: int = 0
+    sessions_failed: int = 0
+    session_appends: int = 0
+    session_duplicates: int = 0
+    session_feed_errors: int = 0
+    session_feed_retries: int = 0
+    session_queue_peak: int = 0
 
     def observe_candidates(self, size: int) -> None:
         """Record one message's candidate-set size ``|A_m|``."""
@@ -184,8 +225,10 @@ class HotLoopCounters:
         the coordinating caller).
         """
         for f in dataclasses.fields(self):
-            if f.name == "candidates_max":
-                self.candidates_max = max(self.candidates_max, other.candidates_max)
+            if f.name in ("candidates_max", "session_queue_peak"):
+                setattr(
+                    self, f.name, max(getattr(self, f.name), getattr(other, f.name))
+                )
             else:
                 setattr(
                     self, f.name, getattr(self, f.name) + getattr(other, f.name)
@@ -247,4 +290,14 @@ class HotLoopCounters:
             ("worker connects", self.worker_connects),
             ("worker disconnects", self.worker_disconnects),
             ("dead workers (heartbeat)", self.dead_workers),
+            ("sessions opened", self.sessions_opened),
+            ("sessions resumed (from spool)", self.sessions_resumed),
+            ("sessions evicted (to spool)", self.sessions_evicted),
+            ("sessions closed", self.sessions_closed),
+            ("sessions failed (degraded)", self.sessions_failed),
+            ("session appends admitted", self.session_appends),
+            ("session duplicate frames", self.session_duplicates),
+            ("session feed errors (rolled back)", self.session_feed_errors),
+            ("session feed retries", self.session_feed_retries),
+            ("session queue peak", self.session_queue_peak),
         ]

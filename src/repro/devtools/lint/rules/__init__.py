@@ -8,4 +8,5 @@ from repro.devtools.lint.rules import (  # noqa: F401
     rl005_anchors,
     rl006_columnar,
     rl007_wire,
+    rl008_async,
 )

@@ -50,9 +50,12 @@ FRAMING_NAMES = frozenset(
     }
 )
 
-#: Modules allowed to frame and unframe bytes.
+#: Modules allowed to frame and unframe bytes. The streaming session
+#: service speaks the same RPF1 frames over its own asyncio transport,
+#: so it shares the boundary with the distributed runtime.
 ALLOWED_PREFIXES = (
     "repro.distributed",
+    "repro.service",
     "repro.devtools",
 )
 

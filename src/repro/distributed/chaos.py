@@ -29,7 +29,14 @@ from __future__ import annotations
 
 import os
 
-from repro.core.shardexec import CHAOS_ENV, NETWORK_KINDS, parse_chaos
+from repro.core.shardexec import CHAOS_ENV, NETWORK_KINDS, ChaosSpec, parse_chaos
+
+#: Fault kinds a *service client* can inject at its send site. The
+#: network kinds translate directly (``reorder`` is meaningless on an
+#: ordered request/ack stream and is ignored there); ``slow`` reuses the
+#: compute-kind spelling to mean "sleep ``param`` seconds before
+#: sending" — a deterministic slow-client fault for backpressure tests.
+CLIENT_KINDS = NETWORK_KINDS | {"slow"}
 
 
 def network_faults(index: int, attempt: int) -> tuple[str, ...]:
@@ -50,4 +57,23 @@ def network_faults(index: int, attempt: int) -> tuple[str, ...]:
     )
 
 
-__all__ = ["network_faults"]
+def client_faults(index: int, attempt: int) -> tuple[ChaosSpec, ...]:
+    """Fault specs a service client injects for this (session, delivery).
+
+    Unlike :func:`network_faults` this returns the full specs — the
+    ``slow`` kind needs its param (seconds of client-side stall). Keyed
+    by the client's session index and per-frame delivery attempt, so a
+    default ``N = 1`` fault hits the first delivery of a frame and lets
+    the resend after reconnect through.
+    """
+    plan = os.environ.get(CHAOS_ENV)
+    if not plan:
+        return ()
+    return tuple(
+        spec
+        for spec in parse_chaos(plan)
+        if spec.kind in CLIENT_KINDS and spec.applies(index, attempt)
+    )
+
+
+__all__ = ["CLIENT_KINDS", "client_faults", "network_faults"]

@@ -39,6 +39,13 @@ _HEADER = struct.Struct("!4sI")
 #: error, not a big message.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
+#: Bytes in the fixed frame header. Readers that own their own byte
+#: transport (the asyncio service reads via ``readexactly``) read this
+#: many bytes, pass them to :func:`parse_frame_header` for the body
+#: length, then hand ``header + body`` to :func:`decode_frame` — the
+#: format itself never leaves this module.
+HEADER_SIZE = _HEADER.size
+
 
 class FrameError(ReproError):
     """A malformed, oversized, or truncated frame."""
@@ -70,6 +77,28 @@ def decode_frame(frame: bytes) -> Any:
     return pickle.loads(body)
 
 
+def parse_frame_header(header: bytes) -> int:
+    """Validate one complete header and return the promised body length.
+
+    Raises :class:`FrameError` on short input, wrong magic, or a length
+    over :data:`MAX_FRAME_BYTES` — the same checks :func:`recv_frame`
+    applies, factored out for transports that read their own bytes.
+    """
+    if len(header) != HEADER_SIZE:
+        raise FrameError(
+            f"frame header is {len(header)} bytes, expected {HEADER_SIZE}"
+        )
+    magic, length = _HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame header promises {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return length
+
+
 def send_frame(sock: socket.socket, payload: Any) -> int:
     """Frame *payload* and send it whole; returns the bytes put on the wire."""
     frame = encode_frame(payload)
@@ -99,25 +128,20 @@ def recv_frame(sock: socket.socket) -> tuple[Any, int]:
     (the peer hung up between frames) and :class:`FrameError` on a
     malformed or oversized header.
     """
-    header = _recv_exact(sock, _HEADER.size)
-    magic, length = _HEADER.unpack(header)
-    if magic != FRAME_MAGIC:
-        raise FrameError(f"bad frame magic {magic!r}")
-    if length > MAX_FRAME_BYTES:
-        raise FrameError(
-            f"frame header promises {length} bytes, over the "
-            f"{MAX_FRAME_BYTES}-byte cap"
-        )
+    header = _recv_exact(sock, HEADER_SIZE)
+    length = parse_frame_header(header)
     body = _recv_exact(sock, length)
-    return pickle.loads(body), _HEADER.size + length
+    return pickle.loads(body), HEADER_SIZE + length
 
 
 __all__ = [
     "FRAME_MAGIC",
+    "HEADER_SIZE",
     "MAX_FRAME_BYTES",
     "FrameError",
     "decode_frame",
     "encode_frame",
+    "parse_frame_header",
     "recv_frame",
     "send_frame",
 ]

@@ -109,6 +109,35 @@ class PipelineConfig:
     report: str | None = None
     profile_json: str | None = None
 
+    @classmethod
+    def for_session(
+        cls,
+        *,
+        format: str | None = None,
+        bound: int | None = None,
+        tolerance: float = 0.0,
+        kernel: str = "auto",
+    ) -> "PipelineConfig":
+        """Session-mode configuration for the streaming service.
+
+        A live session (:mod:`repro.service`) is a learn-only pipeline
+        with no source path: periods arrive over the wire instead of
+        from a file, so ingest/report stages stay off and sharding stays
+        local (a session holds exactly one incremental learner). The
+        service derives each session's learner settings from this config
+        so a session and a ``repro learn`` run over the same fields are
+        the same computation — which is what the byte-identity tests
+        assert.
+        """
+        return cls(
+            source=None,
+            format=format,
+            learn=True,
+            bound=bound,
+            tolerance=tolerance,
+            kernel=kernel,
+        )
+
     def report_outputs(self) -> list[tuple[str, str]]:
         """The configured ``(kind, path)`` report outputs, in write order."""
         outputs = []

@@ -150,6 +150,12 @@ def stream_learn(
     default — picks the vectorized batch kernel when numpy is
     available); the backends learn bit-for-bit identical models.
 
+    A feed that raises mid-stream leaves the learner untouched (the
+    all-or-nothing ``feed`` contract) *and* closes the suspended period
+    generator, releasing the file handle a path source opened — without
+    that, an ingest error would leak the handle until garbage
+    collection.
+
     Returns the finished :class:`~repro.core.result.LearningResult`.
     """
     from repro.core.learner import make_learner
@@ -165,6 +171,11 @@ def stream_learn(
     learner = make_learner(
         tasks, bound=bound, tolerance=tolerance, kernel=kernel
     )
-    for period in periods:
-        learner.feed(period)
+    try:
+        for period in periods:
+            learner.feed(period)
+    finally:
+        closer = getattr(periods, "close", None)
+        if closer is not None:
+            closer()
     return learner.result()

@@ -1,0 +1,137 @@
+"""Property-based tests: the session service is interleaving-invariant.
+
+Two invariants the daemon must hold however clients behave:
+
+* **Interleaving equivalence** — N concurrent sessions, their appends
+  interleaved in any order (with eviction thrown in at arbitrary
+  points), produce exactly the models of N sequential single-learner
+  runs. Sessions are isolated; scheduling leaves no trace in results.
+
+* **Exactly-once admission** — re-sending any prefix-valid pattern of
+  duplicate frames (what a client does after a reconnect it cannot
+  distinguish from a lost ack) never double-feeds: the final model is
+  the model of feeding each period once, and the ledger accounts every
+  resend as a duplicate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.report import dumps_model
+from repro.core.learner import learn_dependencies
+from repro.service import ServiceClient, ServiceThread, SessionPolicy
+from repro.trace.synthetic import (
+    alternating_branch_trace,
+    paper_figure2_trace,
+    serial_chain_trace,
+)
+
+BOUND = 8
+
+#: Distinct valid traces for concurrent sessions — different task
+#: universes and message structures, so cross-session leakage of any
+#: kind would change a model.
+TRACES = (
+    serial_chain_trace(3, 6),
+    alternating_branch_trace(6),
+    paper_figure2_trace(),
+)
+
+
+def reference_model(trace) -> str:
+    return dumps_model(learn_dependencies(trace, bound=BOUND).lub())
+
+
+REFERENCES = tuple(reference_model(trace) for trace in TRACES)
+
+
+def interleavings(session_count: int):
+    """Shuffled schedules: which session's next chunk goes when."""
+    tokens = []
+    for index in range(session_count):
+        tokens.extend([index] * len(TRACES[index].periods))
+    return st.permutations(tokens)
+
+
+@st.composite
+def schedules(draw):
+    session_count = draw(st.integers(min_value=2, max_value=3))
+    order = draw(interleavings(session_count))
+    evict_after = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=len(order) - 1), max_size=3
+        )
+    )
+    return session_count, order, evict_after
+
+
+@settings(max_examples=12, deadline=None)
+@given(schedule=schedules())
+def test_interleaved_sessions_equal_sequential_runs(schedule):
+    session_count, order, evict_after = schedule
+    thread = ServiceThread(SessionPolicy(max_live=8))
+    try:
+        clients = []
+        cursors = [0] * session_count
+        for index in range(session_count):
+            client = ServiceClient(thread.address, name=f"c{index}")
+            client.connect()
+            client.open_session(
+                f"s{index}", TRACES[index].tasks, bound=BOUND
+            )
+            clients.append(client)
+        for step, index in enumerate(order):
+            period = TRACES[index].periods[cursors[index]]
+            cursors[index] += 1
+            clients[index].append_periods([period])
+            if step in evict_after:
+                # Evict the session that just appended; the next append
+                # must transparently resume it from the spool.
+                clients[index].evict_session()
+        for index, client in enumerate(clients):
+            assert client.query_model() == REFERENCES[index]
+            closed = client.close_session()
+            assert closed["model_json"] == REFERENCES[index]
+            client.close()
+    finally:
+        thread.stop()
+
+
+@st.composite
+def resend_patterns(draw):
+    trace_index = draw(st.integers(min_value=0, max_value=len(TRACES) - 1))
+    period_count = len(TRACES[trace_index].periods)
+    resends = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2),
+            min_size=period_count,
+            max_size=period_count,
+        )
+    )
+    return trace_index, resends
+
+
+@settings(max_examples=12, deadline=None)
+@given(pattern=resend_patterns())
+def test_resent_frames_admitted_exactly_once(pattern):
+    trace_index, resends = pattern
+    trace = TRACES[trace_index]
+    thread = ServiceThread(SessionPolicy())
+    try:
+        client = ServiceClient(thread.address)
+        client.connect()
+        client.open_session("s", trace.tasks, bound=BOUND)
+        for seq, period in enumerate(trace.periods, start=1):
+            first = client.append_periods([period], seq=seq)
+            assert first["duplicate"] is False
+            for _ in range(resends[seq - 1]):
+                resent = client.append_periods([period], seq=seq)
+                assert resent["duplicate"] is True
+        profile = client.profile()
+        assert profile["service"]["appends"] == len(trace.periods)
+        assert profile["service"]["duplicates"] == sum(resends)
+        assert profile["learn"]["periods"] == len(trace.periods)
+        assert client.query_model() == REFERENCES[trace_index]
+        client.close()
+    finally:
+        thread.stop()

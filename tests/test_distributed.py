@@ -480,6 +480,17 @@ class TestStoreRefusal:
             thread.start()
             thread.join(timeout=10.0)
             assert codes == [2]
+            # The worker has sent its refuse frame and exited, but the
+            # coordinator registers a link at welcome time and only
+            # drops it when the reader thread processes the refusal —
+            # wait for that, or wait_for_workers can race the reader
+            # and momentarily count the doomed link as a live worker.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with ex._lock:
+                    if ex._refusals and not ex._workers:
+                        break
+                time.sleep(0.01)
             with pytest.raises(OSError, match="store mismatch"):
                 ex.wait_for_workers(1, timeout=0.5)
         finally:

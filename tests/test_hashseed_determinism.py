@@ -213,3 +213,93 @@ def test_degraded_run_artifacts_identical_across_hash_seeds(tmp_path):
                 f"{name} differs between PYTHONHASHSEED={SEEDS[0]} "
                 f"and PYTHONHASHSEED={seed}"
             )
+
+
+#: Driver for the service case: one interpreter hosts the daemon and
+#: two clients whose appends interleave, then prints every observable
+#: (model JSON + session profiles + daemon aggregate) as sorted JSON.
+#: PYTHONHASHSEED only takes effect at startup, so the whole scenario
+#: runs in the subprocess; threads share the seeded interpreter.
+SERVICE_SCRIPT = """
+import itertools
+import json
+import sys
+
+from repro.service import ServiceClient, ServiceThread, SessionPolicy
+from repro.trace.synthetic import alternating_branch_trace, serial_chain_trace
+
+thread = ServiceThread(SessionPolicy())
+traces = {
+    "a": serial_chain_trace(3, 6),
+    "b": alternating_branch_trace(6),
+}
+clients = {}
+for name, trace in traces.items():
+    client = ServiceClient(thread.address, name=name)
+    client.connect()
+    client.open_session(name, trace.tasks, bound=16)
+    clients[name] = client
+streams = {
+    name: iter(trace.periods) for name, trace in traces.items()
+}
+for name in itertools.cycle(sorted(streams)):
+    if not streams:
+        break
+    period = next(streams[name], None)
+    if period is None:
+        del streams[name]
+        continue
+    clients[name].append_periods([period])
+out = {}
+for name, client in sorted(clients.items()):
+    out[name] = {
+        "model": client.query_model(),
+        "profile": client.profile(),
+    }
+    client.close_session()
+stats = clients["a"].daemon_stats()
+del stats["server"]  # embeds hostname+pid
+out["daemon"] = stats
+for client in clients.values():
+    client.close()
+thread.stop()
+json.dump(out, sys.stdout, sort_keys=True)
+"""
+
+#: Every wall-clock figure in the profiles (``elapsed_seconds`` plus
+#: the hot-loop's ``*_seconds`` timers) varies with machine load, not
+#: the hash seed; everything else must match byte for byte.
+SERVICE_ELAPSED = re.compile(rb'"[a-z_]+_seconds": [0-9.e+-]+')
+
+
+def run_service_sessions(workdir: Path, hash_seed: str) -> bytes:
+    """Run the two-client service scenario under one PYTHONHASHSEED."""
+    outdir = workdir / f"service-seed{hash_seed}"
+    outdir.mkdir()
+    script = outdir / "drive.py"
+    script.write_text(SERVICE_SCRIPT)
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_CHAOS", None)
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        check=True, env=env, capture_output=True, timeout=120,
+    )
+    return SERVICE_ELAPSED.sub(b'"elapsed_seconds": "<elapsed>"', proc.stdout)
+
+
+def test_service_sessions_identical_across_hash_seeds(tmp_path):
+    """A daemon serving two interleaved streaming clients is hash-seed
+    deterministic end to end: model JSON, per-session profile counters,
+    and the daemon's aggregate counters are byte-identical."""
+    baseline = run_service_sessions(tmp_path, SEEDS[0])
+    payload = json.loads(baseline)
+    assert payload["a"]["profile"]["learn"]["periods"] == 6
+    assert payload["daemon"]["hot_loop"]["sessions_closed"] == 2
+    for seed in SEEDS[1:]:
+        other = run_service_sessions(tmp_path, seed)
+        assert other == baseline, (
+            f"service artifacts differ between PYTHONHASHSEED={SEEDS[0]} "
+            f"and PYTHONHASHSEED={seed}"
+        )

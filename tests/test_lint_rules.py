@@ -704,6 +704,89 @@ class TestRL007WireFraming:
             assert active(findings, "RL007") == []
 
 
+class TestRL008AsyncConfinement:
+    OUTSIDE = "repro.core.sharded"
+
+    def test_asyncio_import_flagged(self):
+        findings = lint(
+            """
+            import asyncio
+
+            def run(coro):
+                return asyncio.run(coro)
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL008")) == 1
+        assert "asyncio" in active(findings, "RL008")[0].message
+
+    def test_asyncio_from_import_flagged(self):
+        findings = lint(
+            """
+            from asyncio import get_event_loop
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL008")) == 1
+
+    def test_coroutine_definition_flagged(self):
+        findings = lint(
+            """
+            async def fetch(url):
+                return url
+            """,
+            module=self.OUTSIDE,
+        )
+        assert len(active(findings, "RL008")) == 1
+        assert "fetch" in active(findings, "RL008")[0].message
+
+    def test_async_with_flagged_at_its_site(self):
+        findings = lint(
+            """
+            async def guarded(lock):
+                async with lock:
+                    return 1
+            """,
+            module=self.OUTSIDE,
+        )
+        messages = [f.message for f in active(findings, "RL008")]
+        assert any("async with" in m for m in messages)
+
+    def test_synchronous_module_clean(self):
+        findings = lint(
+            """
+            import threading
+
+            def run(fn):
+                thread = threading.Thread(target=fn)
+                thread.start()
+                return thread
+            """,
+            module=self.OUTSIDE,
+        )
+        assert active(findings, "RL008") == []
+
+    def test_service_modules_allowed(self):
+        source = """
+            import asyncio
+
+            async def serve():
+                await asyncio.sleep(0)
+            """
+        for module in ("repro.service.server", "repro.service"):
+            findings = lint(source, module=module)
+            assert active(findings, "RL008") == []
+
+    def test_suppressed_with_waiver(self):
+        findings = lint(
+            """
+            import asyncio  # repro-lint: ignore[RL008]
+            """,
+            module=self.OUTSIDE,
+        )
+        assert active(findings, "RL008") == []
+
+
 class TestSuppressionScanner:
     def test_same_line_and_next_line(self):
         index = scan_suppressions(
@@ -751,10 +834,11 @@ class TestEngine:
         files = discover_files([tmp_path])
         assert [f.name for f in files] == ["a.py"]
 
-    def test_registry_has_all_seven_rules(self):
+    def test_registry_has_all_eight_rules(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL008",
         ]
 
     def test_report_json_round_trip(self, tmp_path):
@@ -825,6 +909,7 @@ class TestCli:
         assert code == 0
         for rule_code in [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL008",
         ]:
             assert rule_code in output
 
